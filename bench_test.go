@@ -1,0 +1,253 @@
+package doctagger_test
+
+// One benchmark per experiment of the evaluation suite (see DESIGN.md for
+// the experiment index and EXPERIMENTS.md for the committed results). The
+// paper is a demonstration paper without numeric result tables, so each
+// benchmark regenerates the table its demo scenario would have produced.
+// Benchmarks print their table on the first iteration and report the
+// headline metric via b.ReportMetric.
+//
+// Run all of them with:
+//
+//	go test -bench=. -benchmem
+//
+// The full suite takes a few minutes; individual experiments run with
+// -bench=BenchmarkE1 etc.
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"testing"
+
+	doctagger "repro"
+	"repro/internal/experiments"
+	"repro/internal/p2pdmt"
+)
+
+// benchScale holds experiment sizes for benchmarks. Override the sweep cap
+// with REPRO_MAX_PEERS for larger machines.
+func benchScale() experiments.Scale {
+	sc := experiments.DefaultScale()
+	if v := os.Getenv("REPRO_MAX_PEERS"); v != "" {
+		var n int
+		if _, err := fmt.Sscan(v, &n); err == nil && n > 0 {
+			sc.MaxPeers = n
+		}
+	}
+	return sc
+}
+
+// printOnce renders each experiment table a single time even when the
+// benchmark framework re-runs the function with growing b.N.
+var printedTables sync.Map
+
+func emit(b *testing.B, tbl *p2pdmt.Table) {
+	b.Helper()
+	if _, already := printedTables.LoadOrStore(tbl.Title, true); !already {
+		fmt.Printf("\n%s\n", tbl)
+	}
+}
+
+// lastF1 extracts the final row's value in the named column as the
+// benchmark's headline metric.
+func lastF1(tbl *p2pdmt.Table, col int) float64 {
+	if len(tbl.Rows) == 0 {
+		return 0
+	}
+	var f float64
+	fmt.Sscan(tbl.Rows[len(tbl.Rows)-1][col], &f)
+	return f
+}
+
+func BenchmarkE1AccuracyVsPeers(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbl, err := experiments.E1AccuracyVsPeers(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		emit(b, tbl)
+		b.ReportMetric(lastF1(tbl, 2), "microF1")
+	}
+}
+
+func BenchmarkE2CommunicationCost(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbl, err := experiments.E2CommunicationCost(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		emit(b, tbl)
+	}
+}
+
+func BenchmarkE3TrainingFraction(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbl, err := experiments.E3TrainingFraction(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		emit(b, tbl)
+		b.ReportMetric(lastF1(tbl, 2), "microF1")
+	}
+}
+
+func BenchmarkE4Churn(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbl, err := experiments.E4Churn(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		emit(b, tbl)
+	}
+}
+
+func BenchmarkE5SizeSkew(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbl, err := experiments.E5SizeSkew(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		emit(b, tbl)
+		b.ReportMetric(lastF1(tbl, 2), "microF1")
+	}
+}
+
+func BenchmarkE6ClassSkew(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbl, err := experiments.E6ClassSkew(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		emit(b, tbl)
+		b.ReportMetric(lastF1(tbl, 2), "microF1")
+	}
+}
+
+func BenchmarkE7Topology(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbl, err := experiments.E7Topology(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		emit(b, tbl)
+	}
+}
+
+func BenchmarkE8PaceTopK(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbl, err := experiments.E8PaceTopK(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		emit(b, tbl)
+		b.ReportMetric(lastF1(tbl, 2), "microF1")
+	}
+}
+
+func BenchmarkE9ConfidenceSlider(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbl, err := experiments.E9ConfidenceSlider(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		emit(b, tbl)
+	}
+}
+
+func BenchmarkE10Refinement(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbl, err := experiments.E10Refinement(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		emit(b, tbl)
+		b.ReportMetric(lastF1(tbl, 2), "microF1")
+	}
+}
+
+func BenchmarkF4TagCloud(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbl, cloud, err := experiments.F4TagCloud(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, already := printedTables.LoadOrStore("F4-cloud", true); !already {
+			fmt.Printf("\n%s\n%s\n", tbl, cloud)
+		}
+	}
+}
+
+func BenchmarkA1CEMPaRAblations(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbl, err := experiments.A1CEMPaRAblations(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		emit(b, tbl)
+	}
+}
+
+func BenchmarkA2Weighting(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbl, err := experiments.A2Weighting(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		emit(b, tbl)
+	}
+}
+
+func BenchmarkA3DropRate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbl, err := experiments.A3DropRate(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		emit(b, tbl)
+	}
+}
+
+func BenchmarkA4Privacy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbl, err := experiments.A4Privacy(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		emit(b, tbl)
+	}
+}
+
+// BenchmarkTaggerSuggest measures the latency of one suggestion query on a
+// trained swarm — the interactive cost a demo visitor would feel clicking
+// "Suggest Tag".
+func BenchmarkTaggerSuggest(b *testing.B) {
+	tg, err := doctagger.New(doctagger.Config{Protocol: doctagger.ProtocolCEMPaR, Peers: 8, Regions: 2, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	texts := map[string][]string{
+		"music":  {"guitar melody chord song album track", "piano concert symphony orchestra"},
+		"travel": {"flight hotel passport beach island", "train station luggage itinerary map"},
+	}
+	peer := 0
+	for tag, ts := range texts {
+		for _, text := range ts {
+			for rep := 0; rep < 3; rep++ {
+				if err := tg.AddDocument(peer%8, text, tag); err != nil {
+					b.Fatal(err)
+				}
+				peer++
+			}
+		}
+	}
+	if err := tg.Train(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tg.Suggest("a new album with a guitar melody"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,281 @@
+// Command p2pdoctagger is the end-user face of the system: it tags real
+// text files, mirroring the demo UI of Fig. 3/4. Tags persist in a
+// .p2pdoctags.json sidecar library (the portable substitute for OS file
+// metadata); the collaborative swarm is simulated in-process with an
+// optional synthetic community whose peers contribute their own tagged
+// collections, exactly like the demonstration setup.
+//
+// Subcommands:
+//
+//	tag <file> <tag> [tag...]   manually tag a file
+//	untag <file> <tag>          remove a tag (refinement)
+//	suggest <file>              show the suggestion cloud for a file
+//	auto <file> [file...]       auto-tag files ("AutoTag" button)
+//	list                        list the library
+//	search <term> [-term...]    filter the library by tags
+//	cloud                       render the tag cloud (Fig. 4)
+//
+// Flags (before the subcommand):
+//
+//	-library path   sidecar file (default .p2pdoctags.json)
+//	-peers N        swarm size including you (default 16)
+//	-protocol p     cempar | pace | centralized | local (default cempar)
+//	-community      seed other peers with a synthetic tagged community
+//	-threshold t    confidence slider (default 0.5)
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	doctagger "repro"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("p2pdoctagger: ")
+	var (
+		libPath   = flag.String("library", ".p2pdoctags.json", "tag library sidecar file")
+		peers     = flag.Int("peers", 16, "swarm size including the local user")
+		protoName = flag.String("protocol", "cempar", "cempar | pace | centralized | local")
+		community = flag.Bool("community", true, "seed other peers with a synthetic tagged community")
+		threshold = flag.Float64("threshold", 0.5, "confidence slider for auto-tagging")
+		seed      = flag.Int64("seed", 1, "swarm seed")
+	)
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	lib, err := doctagger.OpenLibrary(*libPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	app := &cli{
+		lib:       lib,
+		peers:     *peers,
+		protocol:  *protoName,
+		community: *community,
+		threshold: *threshold,
+		seed:      *seed,
+	}
+
+	cmd, rest := args[0], args[1:]
+	switch cmd {
+	case "tag":
+		err = app.tag(rest)
+	case "untag":
+		err = app.untag(rest)
+	case "suggest":
+		err = app.suggest(rest)
+	case "auto":
+		err = app.auto(rest)
+	case "list":
+		err = app.list()
+	case "search":
+		err = app.search(rest)
+	case "cloud":
+		err = app.cloud()
+	default:
+		err = fmt.Errorf("unknown subcommand %q", cmd)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := lib.Save(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+type cli struct {
+	lib       *doctagger.Library
+	tagger    *doctagger.Tagger
+	peers     int
+	protocol  string
+	community bool
+	threshold float64
+	seed      int64
+}
+
+// swarm lazily builds and trains the collaborative tagger from (a) every
+// manually tagged file in the library and (b) the synthetic community.
+func (c *cli) swarm() (*doctagger.Tagger, error) {
+	if c.tagger != nil {
+		return c.tagger, nil
+	}
+	tg, err := doctagger.New(doctagger.Config{
+		Protocol:  c.protocol,
+		Peers:     c.peers,
+		Threshold: c.threshold,
+		Seed:      c.seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	staged := 0
+	// The user's manually tagged files train peer 0.
+	for _, e := range c.lib.Search() {
+		var manual []string
+		for _, t := range e.Tags {
+			if !e.Auto[t] {
+				manual = append(manual, t)
+			}
+		}
+		if len(manual) == 0 {
+			continue
+		}
+		text, err := os.ReadFile(e.Path)
+		if err != nil {
+			continue // file moved; its metadata stays searchable
+		}
+		if err := tg.AddDocument(0, string(text), manual...); err != nil {
+			return nil, err
+		}
+		staged++
+	}
+	// The community contributes the rest of the swarm's knowledge.
+	if c.community {
+		docs, _, err := doctagger.GenerateCorpus(doctagger.CorpusConfig{
+			Users: c.peers - 1, Seed: c.seed + 100,
+			DocsPerUserMin: 20, DocsPerUserMax: 40,
+		})
+		if err != nil {
+			return nil, err
+		}
+		train, _ := doctagger.SplitCorpus(docs, 0.5, c.seed)
+		for _, d := range train {
+			if err := tg.AddDocument(1+d.User%(c.peers-1), d.Text, d.Tags...); err != nil {
+				return nil, err
+			}
+			staged++
+		}
+	}
+	if staged == 0 {
+		return nil, errors.New("nothing to learn from: tag some files first (or enable -community)")
+	}
+	if err := tg.Train(); err != nil {
+		return nil, err
+	}
+	c.tagger = tg
+	return tg, nil
+}
+
+func (c *cli) tag(args []string) error {
+	if len(args) < 2 {
+		return errors.New("usage: tag <file> <tag> [tag...]")
+	}
+	path, tags := args[0], args[1:]
+	if _, err := os.Stat(path); err != nil {
+		return err
+	}
+	c.lib.AddTags(path, tags, false)
+	e, _ := c.lib.Get(path)
+	fmt.Printf("%s: %v\n", path, e.Tags)
+	return nil
+}
+
+func (c *cli) untag(args []string) error {
+	if len(args) != 2 {
+		return errors.New("usage: untag <file> <tag>")
+	}
+	if err := c.lib.RemoveTag(args[0], args[1]); err != nil {
+		return err
+	}
+	// Refinement: the corrected assignment becomes training signal.
+	if text, err := os.ReadFile(args[0]); err == nil {
+		if e, err := c.lib.Get(args[0]); err == nil && len(e.Tags) > 0 {
+			if tg, err := c.swarm(); err == nil {
+				_ = tg.Refine(string(text), e.Tags...)
+			}
+		}
+	}
+	fmt.Printf("removed %q from %s\n", args[1], args[0])
+	return nil
+}
+
+func (c *cli) suggest(args []string) error {
+	if len(args) != 1 {
+		return errors.New("usage: suggest <file>")
+	}
+	text, err := os.ReadFile(args[0])
+	if err != nil {
+		return err
+	}
+	tg, err := c.swarm()
+	if err != nil {
+		return err
+	}
+	sugg, err := tg.Suggest(string(text))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("suggestion cloud for %s (confidence slider at %.2f):\n", args[0], c.threshold)
+	for _, s := range sugg {
+		marker := " "
+		if s.Confidence >= c.threshold {
+			marker = "*"
+		}
+		fmt.Printf("  %s %-20s %.3f\n", marker, s.Tag, s.Confidence)
+	}
+	return nil
+}
+
+func (c *cli) auto(args []string) error {
+	if len(args) == 0 {
+		return errors.New("usage: auto <file> [file...]")
+	}
+	tg, err := c.swarm()
+	if err != nil {
+		return err
+	}
+	for _, path := range args {
+		text, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		tags, err := tg.AutoTag(string(text))
+		if err != nil {
+			return err
+		}
+		c.lib.AddTags(path, tags, true)
+		fmt.Printf("%s: %v\n", path, tags)
+	}
+	return nil
+}
+
+func (c *cli) list() error {
+	for _, e := range c.lib.Search() {
+		auto := ""
+		for _, t := range e.Tags {
+			if e.Auto[t] {
+				auto = " (some auto)"
+				break
+			}
+		}
+		fmt.Printf("%-40s %v%s\n", e.Path, e.Tags, auto)
+	}
+	fmt.Printf("%d documents\n", c.lib.Len())
+	return nil
+}
+
+func (c *cli) search(args []string) error {
+	if len(args) == 0 {
+		return errors.New("usage: search <term> [-term...]")
+	}
+	hits := c.lib.Search(args...)
+	for _, e := range hits {
+		fmt.Printf("%-40s %v\n", e.Path, e.Tags)
+	}
+	fmt.Printf("%d matches\n", len(hits))
+	return nil
+}
+
+func (c *cli) cloud() error {
+	fmt.Print(c.lib.Cloud(1))
+	return nil
+}

@@ -1,0 +1,166 @@
+// Command p2pnode runs a real-network P2PDocTagger peer: it listens on
+// TCP, joins a swarm through seed addresses, learns from tagged text files,
+// publishes its calibrated models to the swarm, and answers tag queries
+// from a tiny line-oriented console — the deployable counterpart of the
+// simulated demo.
+//
+// Start a first node and tag some files:
+//
+//	p2pnode -listen 127.0.0.1:7001 -learn music=./music-notes -learn travel=./trips
+//
+// Join from another terminal (or machine):
+//
+//	p2pnode -listen 127.0.0.1:7002 -join 127.0.0.1:7001 -learn cooking=./recipes
+//
+// Console commands on stdin:
+//
+//	suggest <file>    print the suggestion cloud for a file
+//	auto <file>       print auto-assigned tags
+//	peers             list known peers
+//	publish           retrain and rebroadcast models
+//	quit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/realnet"
+)
+
+// learnFlags collects repeated -learn tag=dir flags.
+type learnFlags []string
+
+func (l *learnFlags) String() string { return strings.Join(*l, ",") }
+func (l *learnFlags) Set(v string) error {
+	*l = append(*l, v)
+	return nil
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("p2pnode: ")
+	var learns learnFlags
+	listen := flag.String("listen", "127.0.0.1:0", "TCP listen address")
+	join := flag.String("join", "", "comma-separated seed peer addresses")
+	threshold := flag.Float64("threshold", 0.5, "auto-tag confidence threshold")
+	seed := flag.Int64("seed", 1, "training seed")
+	flag.Var(&learns, "learn", "tag=dir: learn every .txt file under dir as examples of tag (repeatable)")
+	flag.Parse()
+
+	var seeds []string
+	if *join != "" {
+		seeds = strings.Split(*join, ",")
+	}
+	node, err := realnet.Start(realnet.Config{ListenAddr: *listen, Seeds: seeds, Seed: *seed})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer node.Close()
+	fmt.Printf("listening on %s\n", node.Addr())
+
+	learned := 0
+	for _, spec := range learns {
+		tag, dir, ok := strings.Cut(spec, "=")
+		if !ok {
+			log.Fatalf("bad -learn %q, want tag=dir", spec)
+		}
+		n, err := learnDir(node, tag, dir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("learned %d documents as %q from %s\n", n, tag, dir)
+		learned += n
+	}
+	if learned > 0 {
+		if reached, err := node.Publish(); err != nil {
+			log.Printf("publish: %v", err)
+		} else {
+			fmt.Printf("published models to %d peers\n", reached)
+		}
+	}
+
+	sc := bufio.NewScanner(os.Stdin)
+	fmt.Print("> ")
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
+			fmt.Print("> ")
+			continue
+		}
+		switch fields[0] {
+		case "quit", "exit":
+			return
+		case "peers":
+			for _, p := range node.Peers() {
+				fmt.Println(" ", p)
+			}
+			fmt.Printf("  (%d model sets known)\n", node.ModelsKnown())
+		case "publish":
+			if reached, err := node.Publish(); err != nil {
+				fmt.Println("error:", err)
+			} else {
+				fmt.Printf("published to %d peers\n", reached)
+			}
+		case "suggest", "auto":
+			if len(fields) != 2 {
+				fmt.Printf("usage: %s <file>\n", fields[0])
+				break
+			}
+			text, err := os.ReadFile(fields[1])
+			if err != nil {
+				fmt.Println("error:", err)
+				break
+			}
+			if fields[0] == "suggest" {
+				scores, err := node.Suggest(string(text))
+				if err != nil {
+					fmt.Println("error:", err)
+					break
+				}
+				for i, s := range scores {
+					if i >= 8 {
+						break
+					}
+					fmt.Printf("  %-16s %.3f\n", s.Tag, s.Score)
+				}
+			} else {
+				tags, err := node.AutoTag(string(text), *threshold, 4)
+				if err != nil {
+					fmt.Println("error:", err)
+					break
+				}
+				fmt.Printf("  %v\n", tags)
+			}
+		default:
+			fmt.Println("commands: suggest <file> | auto <file> | peers | publish | quit")
+		}
+		fmt.Print("> ")
+	}
+}
+
+// learnDir feeds every .txt file under dir to the node as an example of
+// tag.
+func learnDir(node *realnet.Node, tag, dir string) (int, error) {
+	n := 0
+	err := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".txt") {
+			return err
+		}
+		text, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		if err := node.AddDocument(string(text), tag); err != nil {
+			return err
+		}
+		n++
+		return nil
+	})
+	return n, err
+}

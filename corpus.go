@@ -1,0 +1,86 @@
+package doctagger
+
+import "repro/internal/dataset"
+
+// CorpusDoc is one synthetic document with its ground-truth tags.
+type CorpusDoc struct {
+	ID   int
+	User int
+	Text string
+	Tags []string
+}
+
+// CorpusConfig shapes a synthetic delicious-style corpus — the stand-in
+// for the del.icio.us crawl the paper demonstrates on. Zero values take
+// the defaults noted on each field.
+type CorpusConfig struct {
+	// Users is the number of distinct document owners; default 16.
+	Users int
+	// DocsPerUserMin/Max bound collection sizes; default 40..80 (the
+	// demo filtered delicious users to 50..200 bookmarks).
+	DocsPerUserMin, DocsPerUserMax int
+	// NumTags is the size of the tag universe; default 20.
+	NumTags int
+	// UserBias controls per-user tag specialization: large (>=10) means
+	// everyone uses all tags, small (<1) means each user focuses on a
+	// few; default 10.
+	UserBias float64
+	// Seed makes generation deterministic; default 1.
+	Seed int64
+}
+
+// GenerateCorpus synthesizes a tagged corpus. Each tag behaves as a topic
+// with its own vocabulary; documents mix the topics of their 1-4 tags with
+// background noise, and tag popularity follows a Zipf law — the properties
+// that make social-bookmarking data learnable.
+func GenerateCorpus(cfg CorpusConfig) ([]CorpusDoc, []string, error) {
+	dc := dataset.DefaultConfig()
+	if cfg.Users > 0 {
+		dc.Users = cfg.Users
+	}
+	dc.DocsPerUserMin, dc.DocsPerUserMax = 40, 80
+	if cfg.DocsPerUserMin > 0 {
+		dc.DocsPerUserMin = cfg.DocsPerUserMin
+	}
+	if cfg.DocsPerUserMax > 0 {
+		dc.DocsPerUserMax = cfg.DocsPerUserMax
+	}
+	if cfg.NumTags > 0 {
+		dc.NumTags = cfg.NumTags
+	}
+	if cfg.UserBias > 0 {
+		dc.UserBias = cfg.UserBias
+	}
+	if cfg.Seed != 0 {
+		dc.Seed = cfg.Seed
+	}
+	dc.RealWords = true
+	corpus, err := dataset.Generate(dc)
+	if err != nil {
+		return nil, nil, err
+	}
+	docs := make([]CorpusDoc, len(corpus.Docs))
+	for i, d := range corpus.Docs {
+		docs[i] = CorpusDoc{ID: d.ID, User: d.User, Text: d.Text, Tags: d.Tags}
+	}
+	return docs, corpus.Tags, nil
+}
+
+// SplitCorpus partitions docs into labeled and unlabeled sets per user
+// with the given training fraction (the demo used 0.2), deterministically
+// for a seed.
+func SplitCorpus(docs []CorpusDoc, trainFrac float64, seed int64) (train, test []CorpusDoc) {
+	conv := make([]dataset.Document, len(docs))
+	for i, d := range docs {
+		conv[i] = dataset.Document{ID: d.ID, User: d.User, Text: d.Text, Tags: d.Tags}
+	}
+	tr, te := dataset.SplitTrainTest(conv, trainFrac, seed)
+	back := func(ds []dataset.Document) []CorpusDoc {
+		out := make([]CorpusDoc, len(ds))
+		for i, d := range ds {
+			out[i] = CorpusDoc{ID: d.ID, User: d.User, Text: d.Text, Tags: d.Tags}
+		}
+		return out
+	}
+	return back(tr), back(te)
+}

@@ -1,0 +1,26 @@
+// Package doctagger is a from-scratch reproduction of P2PDocTagger (Ang,
+// Gopalkrishnan, Ng, Hoi — PVLDB 3(2):1601-1604, VLDB 2010): an automated,
+// distributed collaborative document tagging system based on classification
+// in P2P networks.
+//
+// The package exposes the full pipeline of the paper's Fig. 1:
+//
+//	select documents → preprocess → manual tagging →
+//	P2P collaborative learning → automatic tagging → tag refinement
+//
+// A Tagger embeds a simulated peer swarm (the paper's own demonstrations
+// ran on the P2PDMT simulator for the same reason: realistic P2P testing
+// needs hundreds of machines). The local user is peer 0; the remaining
+// peers contribute their own labeled documents, and the configured P2P
+// classification protocol — CEMPaR (cascade kernel SVMs at DHT-elected
+// super-peers) or PACE (linear SVM ensembles indexed by LSH) — pools their
+// knowledge. Centralized and local-only engines are included as the
+// baselines every experiment compares against.
+//
+// A Library persists tag metadata, answers tag searches, and builds the
+// co-occurrence tag cloud of the paper's Fig. 4.
+//
+// The experiment harness reproducing the paper's demonstration scenarios
+// lives in bench_test.go (one benchmark per experiment; see EXPERIMENTS.md)
+// and is driven by the P2PDMT toolkit under internal/p2pdmt.
+package doctagger

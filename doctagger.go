@@ -1,0 +1,300 @@
+package doctagger
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/baseline"
+	"repro/internal/cempar"
+	"repro/internal/dht"
+	"repro/internal/metrics"
+	"repro/internal/pace"
+	"repro/internal/protocol"
+	"repro/internal/simnet"
+	"repro/internal/textproc"
+)
+
+// Protocol names accepted by Config.Protocol.
+const (
+	ProtocolCEMPaR      = "cempar"
+	ProtocolPACE        = "pace"
+	ProtocolCentralized = "centralized"
+	ProtocolLocal       = "local"
+)
+
+// Config configures a Tagger. The zero value selects CEMPaR over 16 peers
+// with the paper's defaults.
+type Config struct {
+	// Protocol selects the P2P classification engine: "cempar" (default),
+	// "pace", "centralized" or "local".
+	Protocol string
+	// Peers is the swarm size including the local user (peer 0);
+	// default 16.
+	Peers int
+	// Threshold is the confidence needed to auto-assign a tag — the
+	// "Confidence" slider of the demo UI; default 0.5.
+	Threshold float64
+	// MaxTags caps tags per document; default 4.
+	MaxTags int
+	// SensitiveWords are filtered from every document before feature
+	// extraction (the privacy filter of §2).
+	SensitiveWords []string
+	// Regions is CEMPaR's super-peer region count; default 4.
+	Regions int
+	// TopK is PACE's ensemble size; default 5.
+	TopK int
+	// Seed makes the swarm deterministic.
+	Seed int64
+}
+
+func (c *Config) defaults() error {
+	if c.Protocol == "" {
+		c.Protocol = ProtocolCEMPaR
+	}
+	switch c.Protocol {
+	case ProtocolCEMPaR, ProtocolPACE, ProtocolCentralized, ProtocolLocal:
+	default:
+		return fmt.Errorf("doctagger: unknown protocol %q", c.Protocol)
+	}
+	if c.Peers <= 0 {
+		c.Peers = 16
+	}
+	if c.Threshold == 0 {
+		c.Threshold = 0.5
+	}
+	if c.MaxTags == 0 {
+		c.MaxTags = 4
+	}
+	if c.Regions == 0 {
+		// Small swarms pool better with fewer, larger regions.
+		c.Regions = 2
+		if c.Peers >= 32 {
+			c.Regions = 4
+		}
+	}
+	return nil
+}
+
+// Suggestion is one entry of the suggestion cloud (Fig. 3): a tag with the
+// swarm's confidence that it applies.
+type Suggestion struct {
+	Tag        string
+	Confidence float64
+}
+
+// NetworkStats summarizes the simulated swarm's traffic.
+type NetworkStats struct {
+	Messages int64
+	Bytes    int64
+}
+
+// Tagger is the P2PDocTagger system: a preprocessing pipeline plus a
+// simulated peer swarm running a collaborative classification protocol.
+// It is not safe for concurrent use.
+type Tagger struct {
+	cfg     Config
+	pre     *textproc.Preprocessor
+	net     *simnet.Network
+	clf     protocol.Classifier
+	refiner protocol.Refiner
+	self    simnet.NodeID
+	trained bool
+	staged  map[simnet.NodeID][]protocol.Doc
+	setDocs func(simnet.NodeID, []protocol.Doc)
+}
+
+// ErrNotTrained is returned by Suggest/AutoTag before Train has run.
+var ErrNotTrained = errors.New("doctagger: call Train before requesting tags")
+
+// ErrNoAnswer is returned when the swarm cannot answer a query (e.g. the
+// responsible super-peers are unreachable).
+var ErrNoAnswer = errors.New("doctagger: the swarm returned no answer")
+
+// New builds a Tagger with a fresh simulated swarm.
+func New(cfg Config) (*Tagger, error) {
+	if err := cfg.defaults(); err != nil {
+		return nil, err
+	}
+	t := &Tagger{
+		cfg: cfg,
+		pre: textproc.NewPreprocessor(nil, textproc.Options{
+			Weighting: textproc.TermFrequency,
+			Normalize: true,
+		}),
+		net: simnet.New(simnet.Options{
+			Latency: simnet.UniformLatency{Min: 10 * time.Millisecond, Max: 60 * time.Millisecond},
+			Seed:    cfg.Seed + 1,
+		}),
+		self:   0,
+		staged: make(map[simnet.NodeID][]protocol.Doc),
+	}
+	t.pre.AddSensitiveWords(cfg.SensitiveWords...)
+	ids := make([]simnet.NodeID, cfg.Peers)
+	for i := range ids {
+		ids[i] = simnet.NodeID(i)
+	}
+	switch cfg.Protocol {
+	case ProtocolCEMPaR:
+		var s *cempar.System
+		ring := dht.New(t.net, ids, func(id simnet.NodeID) simnet.Handler {
+			return simnet.HandlerFunc(func(nn *simnet.Network, m simnet.Message) {
+				if s != nil {
+					s.Handler(id).HandleMessage(nn, m)
+				}
+			})
+		})
+		s = cempar.New(ring, cempar.Config{
+			Regions: cfg.Regions, Weighted: true, Seed: cfg.Seed + 2,
+		})
+		t.clf, t.refiner, t.setDocs = s, s, s.SetDocs
+	case ProtocolPACE:
+		s := pace.New(t.net, ids, pace.Config{TopK: cfg.TopK, Seed: cfg.Seed + 3})
+		t.clf, t.refiner, t.setDocs = s, s, s.SetDocs
+	case ProtocolCentralized:
+		s := baseline.NewCentralized(t.net, ids, baseline.CentralizedConfig{
+			Coordinator: ids[0], Seed: cfg.Seed + 4,
+		})
+		t.clf, t.refiner, t.setDocs = s, s, s.SetDocs
+	case ProtocolLocal:
+		s := baseline.NewLocal(t.net, ids, 1, cfg.Seed+5)
+		t.clf, t.refiner, t.setDocs = s, s, s.SetDocs
+	}
+	return t, nil
+}
+
+// AddDocument manually tags a document at a peer (0 = the local user)
+// before training — the bootstrap phase of Fig. 1 ("in the beginning ...
+// users have to manually tag some of their documents"). After Train it
+// behaves like Refine at that peer.
+func (t *Tagger) AddDocument(peer int, text string, tags ...string) error {
+	if peer < 0 || peer >= t.cfg.Peers {
+		return fmt.Errorf("doctagger: peer %d out of range [0,%d)", peer, t.cfg.Peers)
+	}
+	if len(tags) == 0 {
+		return errors.New("doctagger: a manually tagged document needs at least one tag")
+	}
+	doc := protocol.Doc{X: t.pre.Vectorize(text), Tags: append([]string(nil), tags...)}
+	id := simnet.NodeID(peer)
+	if t.trained {
+		t.refiner.Refine(id, doc)
+		t.run()
+		return nil
+	}
+	t.staged[id] = append(t.staged[id], doc)
+	return nil
+}
+
+// Train runs the collaborative learning round over everything staged so
+// far. It can be called again later to incorporate newly added documents.
+func (t *Tagger) Train() error {
+	if len(t.staged) == 0 && !t.trained {
+		return errors.New("doctagger: no manually tagged documents to learn from")
+	}
+	if !t.trained {
+		for id, docs := range t.staged {
+			t.setDocs(id, docs)
+		}
+		t.staged = nil
+		t.clf.Fit()
+		t.run()
+		t.trained = true
+		return nil
+	}
+	// Already trained: nothing staged (AddDocument refines immediately).
+	return nil
+}
+
+// run drives the simulated network to quiescence.
+func (t *Tagger) run() { t.net.Run(0) }
+
+// Suggest returns the suggestion cloud for a document: every known tag
+// with its confidence, highest first ("relevant tags will be shown in the
+// Suggestion Cloud panel ... tags with higher confidence will be in larger
+// font").
+func (t *Tagger) Suggest(text string) ([]Suggestion, error) {
+	if !t.trained {
+		return nil, ErrNotTrained
+	}
+	x := t.pre.Vectorize(text)
+	var scores []metrics.ScoredTag
+	answered := false
+	t.clf.Predict(t.self, x, func(sc []metrics.ScoredTag, ok bool) {
+		scores, answered = sc, ok
+	})
+	t.run()
+	if !answered {
+		return nil, ErrNoAnswer
+	}
+	out := make([]Suggestion, 0, len(scores))
+	for _, s := range scores {
+		out = append(out, Suggestion{Tag: s.Tag, Confidence: s.Score})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Confidence != out[j].Confidence {
+			return out[i].Confidence > out[j].Confidence
+		}
+		return out[i].Tag < out[j].Tag
+	})
+	return out, nil
+}
+
+// AutoTag assigns tags to a document using the confidence threshold — the
+// "AutoTag" button of Fig. 3. A document always receives at least one tag
+// (the single best suggestion) unless the swarm cannot answer.
+func (t *Tagger) AutoTag(text string) ([]string, error) {
+	if !t.trained {
+		return nil, ErrNotTrained
+	}
+	x := t.pre.Vectorize(text)
+	var scores []metrics.ScoredTag
+	answered := false
+	t.clf.Predict(t.self, x, func(sc []metrics.ScoredTag, ok bool) {
+		scores, answered = sc, ok
+	})
+	t.run()
+	if !answered {
+		return nil, ErrNoAnswer
+	}
+	return protocol.SelectTags(scores, t.cfg.Threshold, t.cfg.MaxTags), nil
+}
+
+// Refine records the user's corrected tags for a document at the local
+// peer and updates the swarm's models ("upon the refinement of tags,
+// P2PDocTagger will automatically update the classification model(s) in
+// the back-end").
+func (t *Tagger) Refine(text string, tags ...string) error {
+	if !t.trained {
+		return ErrNotTrained
+	}
+	if len(tags) == 0 {
+		return errors.New("doctagger: refinement needs at least one tag")
+	}
+	doc := protocol.Doc{X: t.pre.Vectorize(text), Tags: append([]string(nil), tags...)}
+	t.refiner.Refine(t.self, doc)
+	t.run()
+	return nil
+}
+
+// SetThreshold moves the confidence slider.
+func (t *Tagger) SetThreshold(th float64) { t.cfg.Threshold = th }
+
+// Threshold reports the current confidence threshold.
+func (t *Tagger) Threshold() float64 { return t.cfg.Threshold }
+
+// Protocol reports the active protocol's display name.
+func (t *Tagger) Protocol() string { return t.clf.Name() }
+
+// Stats reports the traffic the swarm has exchanged so far.
+func (t *Tagger) Stats() NetworkStats {
+	s := t.net.Stats()
+	return NetworkStats{Messages: s.MessagesSent, Bytes: s.BytesSent}
+}
+
+// ExplainDocument returns the n highest-weighted preprocessed terms of a
+// document — what the classifiers actually see after stop-word removal and
+// stemming. Useful for demo walk-throughs and debugging suggestions.
+func (t *Tagger) ExplainDocument(text string, n int) []string {
+	return t.pre.TopTerms(t.pre.Vectorize(text), n)
+}

@@ -1,0 +1,285 @@
+package doctagger
+
+import (
+	"strings"
+	"testing"
+)
+
+// corpusFor stages a small three-topic corpus across the swarm's peers.
+func corpusFor(t *testing.T, tg *Tagger, peers int) {
+	t.Helper()
+	topics := []struct {
+		tag   string
+		texts []string
+	}{
+		{"music", []string{"guitar melody chord song album", "piano concert symphony melody", "drum bass rhythm song track", "vinyl album melody chorus tune"}},
+		{"travel", []string{"flight hotel passport itinerary beach", "backpack hostel visa train border", "island beach resort luggage sunset", "map itinerary museum city tour"}},
+		{"food", []string{"recipe oven butter flour sugar", "grill steak pepper garlic sauce", "noodle broth spice chili bowl", "bread yeast dough crust bake"}},
+	}
+	peer := 0
+	for _, topic := range topics {
+		for i, text := range topic.texts {
+			// Spread documents across peers deterministically. The first
+			// document of every topic also trains peer 0 (the querying
+			// peer), so the local-only baseline knows every tag.
+			target := peer % peers
+			if i == 0 {
+				target = 0
+			}
+			if err := tg.AddDocument(target, text+" "+text, topic.tag); err != nil {
+				t.Fatal(err)
+			}
+			peer++
+		}
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{Protocol: "bogus"}); err == nil {
+		t.Error("bogus protocol accepted")
+	}
+	tg, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tg.Protocol() != "CEMPaR" {
+		t.Errorf("default protocol = %q", tg.Protocol())
+	}
+}
+
+func TestLifecycleGuards(t *testing.T) {
+	tg, err := New(Config{Peers: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tg.Suggest("anything"); err != ErrNotTrained {
+		t.Errorf("Suggest before train = %v", err)
+	}
+	if _, err := tg.AutoTag("anything"); err != ErrNotTrained {
+		t.Errorf("AutoTag before train = %v", err)
+	}
+	if err := tg.Refine("x", "tag"); err != ErrNotTrained {
+		t.Errorf("Refine before train = %v", err)
+	}
+	if err := tg.Train(); err == nil {
+		t.Error("training with no documents should fail")
+	}
+	if err := tg.AddDocument(99, "text", "tag"); err == nil {
+		t.Error("out-of-range peer accepted")
+	}
+	if err := tg.AddDocument(0, "text"); err == nil {
+		t.Error("document without tags accepted")
+	}
+}
+
+func TestEndToEndPerProtocol(t *testing.T) {
+	for _, proto := range []string{ProtocolCEMPaR, ProtocolPACE, ProtocolCentralized, ProtocolLocal} {
+		t.Run(proto, func(t *testing.T) {
+			tg, err := New(Config{Protocol: proto, Peers: 6, Seed: 11})
+			if err != nil {
+				t.Fatal(err)
+			}
+			corpusFor(t, tg, 6)
+			if err := tg.Train(); err != nil {
+				t.Fatal(err)
+			}
+			sugg, err := tg.Suggest("festival song with guitar and melody on a new album")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(sugg) == 0 {
+				t.Fatal("empty suggestion cloud")
+			}
+			if sugg[0].Tag != "music" {
+				t.Errorf("top suggestion = %+v, want music", sugg[0])
+			}
+			tags, err := tg.AutoTag("bake the dough with butter sugar and flour in the oven")
+			if err != nil {
+				t.Fatal(err)
+			}
+			found := false
+			for _, tag := range tags {
+				if tag == "food" {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("AutoTag = %v, want food included", tags)
+			}
+		})
+	}
+}
+
+func TestRefinementPersonalizes(t *testing.T) {
+	tg, err := New(Config{Protocol: ProtocolCEMPaR, Peers: 6, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	corpusFor(t, tg, 6)
+	if err := tg.Train(); err != nil {
+		t.Fatal(err)
+	}
+	// The user repeatedly refines documents about gardening — a tag the
+	// swarm has never seen.
+	for i := 0; i < 5; i++ {
+		text := "soil seedling compost prune watering bed " + strings.Repeat("mulch ", i+1)
+		if err := tg.Refine(text, "gardening"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sugg, err := tg.Suggest("compost the soil and prune the seedling bed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range sugg {
+		if s.Tag == "gardening" {
+			return // refined tag became suggestible
+		}
+	}
+	t.Errorf("gardening never suggested: %+v", sugg)
+}
+
+func TestAddDocumentAfterTrainRefines(t *testing.T) {
+	tg, err := New(Config{Protocol: ProtocolPACE, Peers: 4, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	corpusFor(t, tg, 4)
+	if err := tg.Train(); err != nil {
+		t.Fatal(err)
+	}
+	// Post-training AddDocument behaves as refinement (peer 2's user also
+	// corrects tags).
+	for i := 0; i < 4; i++ {
+		if err := tg.AddDocument(2, "telescope nebula galaxy star orbit", "astronomy"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sugg, err := tg.Suggest("the telescope shows a distant galaxy and nebula")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range sugg {
+		if s.Tag == "astronomy" {
+			return
+		}
+	}
+	t.Errorf("astronomy never suggested: %+v", sugg)
+}
+
+func TestThresholdSliderChangesTagCount(t *testing.T) {
+	tg, err := New(Config{Protocol: ProtocolCentralized, Peers: 4, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	corpusFor(t, tg, 4)
+	if err := tg.Train(); err != nil {
+		t.Fatal(err)
+	}
+	text := "song melody on the beach with a recipe for the hotel grill"
+	tg.SetThreshold(0.05)
+	loose, err := tg.AutoTag(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tg.SetThreshold(0.95)
+	strict, err := tg.AutoTag(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(strict) > len(loose) {
+		t.Errorf("strict threshold gave more tags (%v) than loose (%v)", strict, loose)
+	}
+	if tg.Threshold() != 0.95 {
+		t.Error("threshold not stored")
+	}
+}
+
+func TestStatsAndExplain(t *testing.T) {
+	tg, err := New(Config{Protocol: ProtocolCEMPaR, Peers: 4, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	corpusFor(t, tg, 4)
+	if err := tg.Train(); err != nil {
+		t.Fatal(err)
+	}
+	if s := tg.Stats(); s.Messages == 0 || s.Bytes == 0 {
+		t.Errorf("no traffic recorded: %+v", s)
+	}
+	terms := tg.ExplainDocument("The guitars were playing beautiful melodies", 3)
+	joined := strings.Join(terms, " ")
+	if !strings.Contains(joined, "guitar") || !strings.Contains(joined, "melodi") {
+		t.Errorf("explain = %v (stemming/stop-words expected)", terms)
+	}
+}
+
+func TestSensitiveWordsNeverReachModels(t *testing.T) {
+	tg, err := New(Config{Protocol: ProtocolLocal, Peers: 2, SensitiveWords: []string{"projectx"}, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	terms := tg.ExplainDocument("the secret projectx launch guitar", 10)
+	for _, term := range terms {
+		if strings.Contains(term, "projectx") {
+			t.Error("sensitive word leaked into features")
+		}
+	}
+}
+
+func TestLibraryRoundTrip(t *testing.T) {
+	lib := NewMemoryLibrary()
+	lib.SetTags("/a", []string{"go", "db"}, false)
+	lib.AddTags("/a", []string{"perf"}, true)
+	lib.SetTags("/b", []string{"go"}, false)
+	if lib.Len() != 2 {
+		t.Fatalf("len = %d", lib.Len())
+	}
+	e, err := lib.Get("/a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !e.Auto["perf"] || e.Auto["go"] {
+		t.Errorf("auto = %v", e.Auto)
+	}
+	if got := lib.Search("go", "-db"); len(got) != 1 || got[0].Path != "/b" {
+		t.Errorf("search = %v", got)
+	}
+	if err := lib.RemoveTag("/a", "db"); err != nil {
+		t.Fatal(err)
+	}
+	counts := lib.TagCounts()
+	if counts[0].Tag != "go" || counts[0].Count != 2 {
+		t.Errorf("counts = %v", counts)
+	}
+	cloud := lib.Cloud(1)
+	if cloud.String() == "" {
+		t.Error("empty cloud rendering")
+	}
+	lib.Delete("/b")
+	if lib.Len() != 1 {
+		t.Error("delete failed")
+	}
+	if err := lib.Save(); err != nil {
+		t.Errorf("memory save = %v", err)
+	}
+}
+
+func TestLibraryPersistence(t *testing.T) {
+	path := t.TempDir() + "/lib.json"
+	lib, err := OpenLibrary(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib.SetTags("/x", []string{"alpha"}, false)
+	if err := lib.Save(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := OpenLibrary(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Len() != 1 {
+		t.Error("persistence failed")
+	}
+}

@@ -1,0 +1,95 @@
+// Library: the browsing side of the demo (Figs. 3 and 4) — auto-tag a
+// collection into the persistent library, search and filter by tags, and
+// render the co-occurrence tag cloud with its concept clusters and
+// bridging tags.
+//
+// Run with:
+//
+//	go run ./examples/library
+package main
+
+import (
+	"fmt"
+	"log"
+
+	doctagger "repro"
+)
+
+func main() {
+	const peers = 8
+	tagger, err := doctagger.New(doctagger.Config{
+		Protocol: doctagger.ProtocolCEMPaR,
+		Peers:    peers,
+		Regions:  2,
+		Seed:     21,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The community's labeled documents train the swarm.
+	docs, _, err := doctagger.GenerateCorpus(doctagger.CorpusConfig{
+		Users: peers, NumTags: 8, Seed: 21,
+		DocsPerUserMin: 30, DocsPerUserMax: 50,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	train, test := doctagger.SplitCorpus(docs, 0.3, 21)
+	for _, d := range train {
+		if err := tagger.AddDocument(d.User%peers, d.Text, d.Tags...); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := tagger.Train(); err != nil {
+		log.Fatal(err)
+	}
+
+	// Auto-tag untagged documents into the library (Fig. 3's AutoTag on a
+	// multi-selection).
+	lib := doctagger.NewMemoryLibrary()
+	n := 120
+	if n > len(test) {
+		n = len(test)
+	}
+	for _, d := range test[:n] {
+		tags, err := tagger.AutoTag(d.Text)
+		if err != nil {
+			log.Fatal(err)
+		}
+		lib.SetTags(fmt.Sprintf("doc-%04d.txt", d.ID), tags, true)
+	}
+	fmt.Printf("auto-tagged %d documents into the library\n\n", lib.Len())
+
+	// The Library panel: search and filter.
+	counts := lib.TagCounts()
+	fmt.Println("most used tags:")
+	for i, tc := range counts {
+		if i >= 5 {
+			break
+		}
+		fmt.Printf("  %-14s %d docs\n", tc.Tag, tc.Count)
+	}
+	top := counts[0].Tag
+	hits := lib.Search(top)
+	fmt.Printf("\nsearch %q: %d documents; first few:\n", top, len(hits))
+	for i, e := range hits {
+		if i >= 3 {
+			break
+		}
+		fmt.Printf("  %-16s %v\n", e.Path, e.Tags)
+	}
+	if len(counts) > 1 {
+		second := counts[1].Tag
+		both := lib.Search(top, second)
+		fmt.Printf("search %q AND %q: %d documents\n", top, second, len(both))
+		without := lib.Search(top, "-"+second)
+		fmt.Printf("search %q NOT %q: %d documents\n", top, second, len(without))
+	}
+
+	// The Tag Cloud panel (Fig. 4): co-occurrence edges, concept clusters
+	// and bridging tags.
+	fmt.Println()
+	cloud := lib.Cloud(2)
+	fmt.Print(cloud)
+}

@@ -1,0 +1,104 @@
+// Quickstart: the whole P2PDocTagger pipeline in one file — manual
+// tagging, collaborative learning, tag suggestion, automatic tagging and
+// refinement, exactly the flow of the paper's Fig. 1.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	doctagger "repro"
+)
+
+func main() {
+	// A swarm of 8 peers running CEMPaR; you are peer 0.
+	tagger, err := doctagger.New(doctagger.Config{
+		Protocol: doctagger.ProtocolCEMPaR,
+		Peers:    8,
+		Seed:     1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Bootstrap: every peer manually tags a few of its documents. In a
+	// real deployment each peer's user does this independently; here we
+	// play all of them.
+	type doc struct {
+		peer int
+		text string
+		tags []string
+	}
+	bootstrap := []doc{
+		{0, "the guitar melody and chords on this album are stunning", []string{"music"}},
+		{1, "a piano concert with a full symphony orchestra", []string{"music"}},
+		{2, "drum and bass rhythm tracks for the new song", []string{"music"}},
+		{3, "booked a flight and hotel, passport and itinerary ready", []string{"travel"}},
+		{4, "the island beach resort had a wonderful sunset", []string{"travel"}},
+		{5, "train across the border with a backpack and a visa", []string{"travel"}},
+		{6, "knead the dough, add butter flour and sugar, then bake", []string{"cooking"}},
+		{7, "grill the steak with pepper garlic and a red sauce", []string{"cooking"}},
+		{0, "a simmering broth with noodles and chili spice", []string{"cooking"}},
+		{1, "mix the song in the studio and master the vinyl", []string{"music"}},
+		{2, "the museum tour and the city landmarks were crowded", []string{"travel"}},
+		{3, "a recipe for bread crust that needs a hot oven", []string{"cooking"}},
+	}
+	for _, d := range bootstrap {
+		if err := tagger.AddDocument(d.peer, d.text, d.tags...); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Collaborative learning: models travel the simulated P2P network.
+	if err := tagger.Train(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trained a %s swarm; traffic so far: %+v\n\n", tagger.Protocol(), tagger.Stats())
+
+	// Suggestion cloud (the "Suggest Tag" button).
+	text := "last night's concert had an amazing guitar solo and a long melody"
+	fmt.Printf("document: %q\n", text)
+	fmt.Printf("preprocessed terms: %v\n", tagger.ExplainDocument(text, 5))
+	suggestions, err := tagger.Suggest(text)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("suggestion cloud:")
+	for _, s := range suggestions {
+		fmt.Printf("  %-10s %.3f\n", s.Tag, s.Confidence)
+	}
+
+	// Automatic tagging (the "AutoTag" button).
+	tags, err := tagger.AutoTag(text)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("auto-assigned tags: %v\n\n", tags)
+
+	// Refinement: correct the system and watch it adapt.
+	correction := "the hiking trail to the waterfall was steep but worth it"
+	for i := 0; i < 4; i++ {
+		if err := tagger.Refine(correction, "hiking"); err != nil {
+			log.Fatal(err)
+		}
+	}
+	after, err := tagger.Suggest("a steep hiking trail with a view of the waterfall")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("after refining with a brand-new tag 'hiking':")
+	for _, s := range after[:min(3, len(after))] {
+		fmt.Printf("  %-10s %.3f\n", s.Tag, s.Confidence)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

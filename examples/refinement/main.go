@@ -1,0 +1,92 @@
+// Refinement: the personalization loop of §2 — "users can use the tagging
+// interface to modify the assigned tags ... P2PDocTagger will automatically
+// update the classification model(s) in the back-end, to adapt to their
+// personal preference for future tagging."
+//
+// A user who disagrees with the community's idea of a tag corrects a few
+// documents; the example measures how quickly suggestions adapt.
+//
+// Run with:
+//
+//	go run ./examples/refinement
+package main
+
+import (
+	"fmt"
+	"log"
+
+	doctagger "repro"
+)
+
+func main() {
+	const peers = 8
+	tagger, err := doctagger.New(doctagger.Config{
+		Protocol: doctagger.ProtocolCEMPaR,
+		Peers:    peers,
+		Regions:  2,
+		Seed:     33,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Community knowledge: a generated corpus labels peers 0..7.
+	docs, _, err := doctagger.GenerateCorpus(doctagger.CorpusConfig{
+		Users: peers, NumTags: 10, Seed: 33,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	train, _ := doctagger.SplitCorpus(docs, 0.2, 33)
+	for _, d := range train {
+		if err := tagger.AddDocument(d.User%peers, d.Text, d.Tags...); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := tagger.Train(); err != nil {
+		log.Fatal(err)
+	}
+
+	// The user's pet topic, unknown to the community: birdwatching notes.
+	notes := []string{
+		"spotted a heron at the marsh with binoculars at dawn",
+		"the warbler migration passed the estuary this morning",
+		"a kestrel hovered over the meadow hunting voles",
+		"counted twelve curlews on the mudflats at low tide",
+		"the owl roost in the old oak had fresh pellets below",
+	}
+	probe := "binoculars ready for the dawn heron watch at the marsh"
+
+	fmt.Println("confidence that the probe note is 'birding', round by round:")
+	printConfidence(tagger, probe, 0)
+	for round, note := range notes {
+		if err := tagger.Refine(note, "birding"); err != nil {
+			log.Fatal(err)
+		}
+		printConfidence(tagger, probe, round+1)
+	}
+
+	tags, err := tagger.AutoTag(probe)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nfinal auto-tags for the probe: %v\n", tags)
+}
+
+func printConfidence(t *doctagger.Tagger, text string, round int) {
+	suggestions, err := t.Suggest(text)
+	if err != nil {
+		log.Fatal(err)
+	}
+	conf := 0.0
+	for _, s := range suggestions {
+		if s.Tag == "birding" {
+			conf = s.Confidence
+		}
+	}
+	bar := ""
+	for i := 0; i < int(conf*40); i++ {
+		bar += "█"
+	}
+	fmt.Printf("  after %d refinements: %.3f %s\n", round, conf, bar)
+}

@@ -1,0 +1,536 @@
+// Package cempar implements CEMPaR (Communication-Efficient Multi-Party
+// classification in P2P networks, Ang et al., ECML/PKDD 2009) as used by
+// P2PDocTagger: every peer trains a non-linear SVM per tag on its local
+// documents, propagates the support vectors once to a deterministically
+// elected super-peer, and the super-peers cascade the collected models into
+// regional models. Untagged documents are classified by routing their
+// vectors to super-peers, whose regional models vote.
+package cempar
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/dht"
+	"repro/internal/metrics"
+	"repro/internal/protocol"
+	"repro/internal/simnet"
+	"repro/internal/svm"
+	"repro/internal/vector"
+)
+
+// Config tunes the protocol.
+type Config struct {
+	// Regions is the number of super-peer regions; default 4.
+	Regions int
+	// Kernel is the base-learner kernel; default RBF with gamma 1 (the
+	// cascade-SVM paradigm requires a non-linear learner).
+	Kernel svm.Kernel
+	// C is the SVM penalty; default 1.
+	C float64
+	// CascadeFanIn controls how many models merge per cascade layer.
+	CascadeFanIn int
+	// Weighted enables weighting each regional model's vote by the number
+	// of training examples behind it (the paper's "(weighted) majority
+	// voting"); unweighted voting is the ablation.
+	Weighted bool
+	// OwnRegionOnly restricts queries to the querying peer's regional
+	// super-peer (cheaper, less accurate). The default queries every
+	// region's super-peer and aggregates with the paper's "(weighted)
+	// majority voting".
+	OwnRegionOnly bool
+	// SettleDelay is how long a super-peer waits after model arrivals
+	// before (re)cascading; default 2s of simulated time.
+	SettleDelay time.Duration
+	// QueryTimeout bounds how long a querying peer waits for super-peer
+	// answers before concluding with whatever arrived; default 10s.
+	QueryTimeout time.Duration
+	// Seed drives SVM training.
+	Seed int64
+}
+
+func (c *Config) defaults() {
+	if c.Regions <= 0 {
+		c.Regions = 4
+	}
+	if c.Kernel == (svm.Kernel{}) {
+		c.Kernel = svm.Kernel{Kind: svm.KernelRBF, Gamma: 1}
+	}
+	if c.C == 0 {
+		c.C = 1
+	}
+	if c.SettleDelay == 0 {
+		c.SettleDelay = 2 * time.Second
+	}
+	if c.QueryTimeout == 0 {
+		c.QueryTimeout = 10 * time.Second
+	}
+}
+
+// peerState holds one peer's protocol state, including its super-peer role
+// (any peer may become one).
+type peerState struct {
+	id   simnet.NodeID
+	docs []protocol.Doc
+	// Local per-tag models (trained during Fit).
+	local map[string]*svm.KernelModel
+	// sendSamples marks peers whose local data was one-class for some tag;
+	// they ship labeled documents alongside (or instead of) models.
+	sendSamples bool
+	// outMsg caches the last propagated model message so re-propagation
+	// after churn ships an identical (pointer-comparable) payload, letting
+	// super-peers skip redundant cascades.
+	outMsg *modelsMsg
+	// lastSuperPeer remembers where models were last shipped; Refresh only
+	// re-sends when the elected super-peer changed.
+	lastSuperPeer simnet.NodeID
+	// Super-peer role: latest model set received from each peer.
+	collected map[simnet.NodeID]*modelsMsg
+	// Regional cascaded models per tag, with their pooled example counts
+	// and Platt calibration fitted on the pooled support examples.
+	regional       map[string]*svm.KernelModel
+	regionalWeight map[string]float64
+	regionalPlatt  map[string]svm.PlattParams
+	cascadePending bool
+}
+
+type modelsMsg struct {
+	from   simnet.NodeID
+	models map[string]*svm.KernelModel
+	counts map[string]int // training examples per tag at the sender
+	// samples carries the peer's labeled documents when some local tag
+	// was one-class (untrainable locally): the super-peer pools them into
+	// the cascade as raw support examples. They are charged like support
+	// vectors — which, for such small peers, they effectively are.
+	samples  []protocol.Doc
+	wireSize int
+}
+
+type queryMsg struct {
+	x      *vector.Sparse
+	origin simnet.NodeID
+	req    uint64
+}
+
+type answerMsg struct {
+	req    uint64
+	scores map[string]float64
+	weight map[string]float64
+}
+
+type pendingQuery struct {
+	expected  int
+	received  int
+	scoreSum  map[string]float64
+	weightSum map[string]float64
+	cb        func([]metrics.ScoredTag, bool)
+	done      bool
+}
+
+// System is a CEMPaR deployment over a DHT ring.
+type System struct {
+	cfg     Config
+	d       *dht.DHT
+	net     *simnet.Network
+	peers   map[simnet.NodeID]*peerState
+	pending map[uint64]*pendingQuery
+	nextReq uint64
+}
+
+// New builds the protocol over an existing DHT whose application messages
+// it will consume. docs maps each peer to its local labeled documents.
+// Construct the DHT with this system's Handler: see Attach.
+func New(d *dht.DHT, cfg Config) *System {
+	cfg.defaults()
+	s := &System{
+		cfg:     cfg,
+		d:       d,
+		net:     d.Network(),
+		peers:   make(map[simnet.NodeID]*peerState),
+		pending: make(map[uint64]*pendingQuery),
+	}
+	for _, id := range d.Peers() {
+		s.peers[id] = &peerState{
+			id:             id,
+			lastSuperPeer:  -1,
+			collected:      make(map[simnet.NodeID]*modelsMsg),
+			regional:       make(map[string]*svm.KernelModel),
+			regionalWeight: make(map[string]float64),
+			regionalPlatt:  make(map[string]svm.PlattParams),
+		}
+	}
+	return s
+}
+
+// Handler returns the application-message handler for peer id; pass it to
+// dht.New's app callback.
+func (s *System) Handler(id simnet.NodeID) simnet.Handler {
+	return simnet.HandlerFunc(func(net *simnet.Network, m simnet.Message) {
+		s.handle(id, m)
+	})
+}
+
+// SetDocs installs a peer's local training documents (before Fit).
+func (s *System) SetDocs(id simnet.NodeID, docs []protocol.Doc) {
+	s.peers[id].docs = docs
+}
+
+// Name implements protocol.Classifier.
+func (s *System) Name() string { return "CEMPaR" }
+
+// Fit trains local models at every alive peer and propagates them to the
+// peers' regional super-peers via DHT lookups. Run the network to complete.
+func (s *System) Fit() {
+	for _, id := range s.d.Peers() {
+		if !s.net.Alive(id) {
+			continue
+		}
+		s.trainLocal(id)
+		s.propagate(id)
+	}
+}
+
+// Refresh re-propagates local models (e.g. after churn re-elected
+// super-peers) without retraining.
+func (s *System) Refresh() {
+	for _, id := range s.d.Peers() {
+		if !s.net.Alive(id) || s.peers[id].local == nil {
+			continue
+		}
+		s.propagate(id)
+	}
+}
+
+// trainLocal fits one kernel SVM per locally observed tag. Tags that are
+// one-class locally (every document carries them, or the peer holds a
+// single tag) cannot be trained here; the peer marks itself a sample
+// contributor instead so its labeled documents still enter the cascade.
+func (s *System) trainLocal(id simnet.NodeID) {
+	p := s.peers[id]
+	p.local = make(map[string]*svm.KernelModel)
+	p.sendSamples = false
+	p.outMsg = nil
+	p.lastSuperPeer = -1
+	for _, tag := range protocol.TagUniverse(p.docs) {
+		exs := protocol.BinaryExamples(p.docs, tag)
+		m, err := svm.TrainKernel(exs, svm.KernelOptions{
+			Kernel: s.cfg.Kernel, C: s.cfg.C, Seed: s.cfg.Seed + int64(id),
+		})
+		if err != nil {
+			p.sendSamples = true // untrainable locally: contribute raw examples
+			continue
+		}
+		p.local[tag] = m
+	}
+}
+
+// propagate looks up the peer's regional super-peer and ships the local
+// models there ("these SVM models (support vectors) are propagated once to
+// one of the super-peers").
+func (s *System) propagate(id simnet.NodeID) {
+	p := s.peers[id]
+	if len(p.local) == 0 && !p.sendSamples {
+		return
+	}
+	region := dht.Region(s.d.NodeHash(id), s.cfg.Regions)
+	key := dht.SuperPeerKey(region, s.cfg.Regions)
+	if p.outMsg == nil {
+		msg := &modelsMsg{from: id, models: p.local, counts: make(map[string]int)}
+		// Wire size: each distinct support vector crosses the network once
+		// (per-tag models share the same local documents, so the sender
+		// ships the SV union plus per-tag coefficient lists).
+		distinct := make(map[*vector.Sparse]bool)
+		size := 16
+		for tag, m := range p.local {
+			msg.counts[tag] = len(p.docs)
+			size += len(tag) + 16 // tag header + bias/kernel params
+			for _, sv := range m.SVs {
+				size += 8 // coefficient
+				if !distinct[sv.X] {
+					distinct[sv.X] = true
+					size += sv.X.WireSize()
+				}
+			}
+		}
+		if p.sendSamples {
+			msg.samples = p.docs
+			for _, d := range p.docs {
+				if !distinct[d.X] {
+					distinct[d.X] = true
+					size += d.X.WireSize()
+				}
+				for _, tag := range d.Tags {
+					size += len(tag) + 1
+				}
+			}
+		}
+		msg.wireSize = size
+		p.outMsg = msg
+	}
+	msg := p.outMsg
+	_ = s.d.Lookup(id, key, func(r dht.LookupResult) {
+		if r.Failed || !s.net.Alive(id) {
+			return
+		}
+		if r.Owner == p.lastSuperPeer {
+			return // models already live at this super-peer
+		}
+		p.lastSuperPeer = r.Owner
+		s.net.Send(simnet.Message{
+			From: id, To: r.Owner, Kind: "cempar.models", Size: msg.wireSize, Payload: msg,
+		})
+	})
+}
+
+func (s *System) handle(self simnet.NodeID, m simnet.Message) {
+	switch m.Kind {
+	case "cempar.models":
+		s.onModels(self, m.Payload.(*modelsMsg))
+	case "cempar.query":
+		s.onQuery(self, m.Payload.(queryMsg))
+	case "cempar.answer":
+		s.onAnswer(m.Payload.(answerMsg))
+	}
+}
+
+// onModels stores a peer's models at the super-peer and schedules a
+// (re)cascade after the settle delay.
+func (s *System) onModels(self simnet.NodeID, msg *modelsMsg) {
+	p := s.peers[self]
+	if p.collected[msg.from] == msg {
+		return // identical re-propagation (e.g. periodic refresh): no-op
+	}
+	p.collected[msg.from] = msg
+	if p.cascadePending {
+		return
+	}
+	p.cascadePending = true
+	s.net.Schedule(self, s.cfg.SettleDelay, func() {
+		p.cascadePending = false
+		s.cascade(self)
+	})
+}
+
+// cascade merges all collected models per tag into regional models
+// ("super-peers which collect the local models of peers cascade them to
+// construct regional cascaded models").
+func (s *System) cascade(self simnet.NodeID) {
+	p := s.peers[self]
+	byTag := make(map[string][]*svm.KernelModel)
+	weight := make(map[string]float64)
+	var samples []protocol.Doc
+	// Iterate senders in id order: map order would vary run to run and
+	// change floating-point summation and cascade grouping, breaking
+	// reproducibility.
+	senders := make([]simnet.NodeID, 0, len(p.collected))
+	for id := range p.collected {
+		senders = append(senders, id)
+	}
+	sort.Slice(senders, func(i, j int) bool { return senders[i] < senders[j] })
+	for _, id := range senders {
+		msg := p.collected[id]
+		tags := make([]string, 0, len(msg.models))
+		for tag := range msg.models {
+			tags = append(tags, tag)
+		}
+		sort.Strings(tags)
+		for _, tag := range tags {
+			byTag[tag] = append(byTag[tag], msg.models[tag])
+			weight[tag] += float64(msg.counts[tag])
+		}
+		samples = append(samples, msg.samples...)
+	}
+	// Raw samples from one-class peers extend every tag's pool: they are
+	// positives for their own tags and negatives elsewhere.
+	for _, tag := range protocol.TagUniverse(samples) {
+		if _, ok := byTag[tag]; !ok {
+			byTag[tag] = nil
+		}
+	}
+	p.regional = make(map[string]*svm.KernelModel, len(byTag))
+	p.regionalWeight = weight
+	p.regionalPlatt = make(map[string]svm.PlattParams, len(byTag))
+	for tag, models := range byTag {
+		// Samples from one-class peers join the cascade as one degenerate
+		// "model" whose support vectors are exactly the labeled examples.
+		if len(samples) > 0 {
+			if sm := sampleModel(samples, tag, s.cfg.Kernel, s.cfg.C); sm != nil {
+				models = append(models, sm)
+				weight[tag] += float64(len(samples))
+			}
+		}
+		if len(models) == 0 {
+			continue
+		}
+		merged, err := svm.Cascade(models, svm.CascadeOptions{
+			KernelOptions: svm.KernelOptions{
+				Kernel: s.cfg.Kernel, C: s.cfg.C, Seed: s.cfg.Seed + 7777,
+			},
+			FanIn: s.cfg.CascadeFanIn,
+		})
+		if err != nil {
+			continue
+		}
+		p.regional[tag] = merged
+		// Calibrate on the pooled support examples so votes from different
+		// regions are on a common probability scale.
+		var pool []svm.Example
+		for _, m := range models {
+			pool = append(pool, m.SupportExamples()...)
+		}
+		p.regionalPlatt[tag] = svm.CalibrateKernelCV(pool, svm.KernelOptions{
+			Kernel: s.cfg.Kernel, C: s.cfg.C, Seed: s.cfg.Seed + 8888,
+		}, merged, 3)
+	}
+}
+
+// sampleModel wraps raw labeled documents as a degenerate kernel model so
+// the cascade can pool them: every document becomes a support vector with
+// coefficient ±C according to whether it carries the tag. Returns nil when
+// no document mentions anything (empty input).
+func sampleModel(samples []protocol.Doc, tag string, k svm.Kernel, c float64) *svm.KernelModel {
+	if len(samples) == 0 {
+		return nil
+	}
+	m := &svm.KernelModel{Kernel: k}
+	for _, ex := range protocol.BinaryExamples(samples, tag) {
+		m.SVs = append(m.SVs, svm.SupportVector{X: ex.X, Coeff: ex.Y * c})
+	}
+	return m
+}
+
+// Predict implements protocol.Classifier: the untagged vector travels to
+// super-peers, whose regional models score every known tag; the origin
+// aggregates with (weighted) majority voting.
+func (s *System) Predict(from simnet.NodeID, x *vector.Sparse, cb func([]metrics.ScoredTag, bool)) {
+	if !s.net.Alive(from) {
+		cb(nil, false)
+		return
+	}
+	var regions []int
+	if s.cfg.OwnRegionOnly {
+		regions = []int{dht.Region(s.d.NodeHash(from), s.cfg.Regions)}
+	} else {
+		for r := 0; r < s.cfg.Regions; r++ {
+			regions = append(regions, r)
+		}
+	}
+	req := s.nextReq
+	s.nextReq++
+	pq := &pendingQuery{
+		expected:  len(regions),
+		scoreSum:  make(map[string]float64),
+		weightSum: make(map[string]float64),
+		cb:        cb,
+	}
+	s.pending[req] = pq
+	for _, r := range regions {
+		key := dht.SuperPeerKey(r, s.cfg.Regions)
+		_ = s.d.Lookup(from, key, func(lr dht.LookupResult) {
+			if lr.Failed || !s.net.Alive(from) {
+				return
+			}
+			s.net.Send(simnet.Message{
+				From: from, To: lr.Owner, Kind: "cempar.query",
+				Size:    x.WireSize() + 16,
+				Payload: queryMsg{x: x, origin: from, req: req},
+			})
+		})
+	}
+	// Conclude after the timeout with whatever answers arrived.
+	s.net.Schedule(from, s.cfg.QueryTimeout, func() { s.finalize(req) })
+}
+
+// onQuery evaluates the regional models at a super-peer and replies.
+func (s *System) onQuery(self simnet.NodeID, q queryMsg) {
+	p := s.peers[self]
+	ans := answerMsg{
+		req:    q.req,
+		scores: make(map[string]float64, len(p.regional)),
+		weight: make(map[string]float64, len(p.regional)),
+	}
+	for tag, m := range p.regional {
+		ans.scores[tag] = p.regionalPlatt[tag].Prob(m.Decision(q.x))
+		if s.cfg.Weighted {
+			ans.weight[tag] = p.regionalWeight[tag]
+		} else {
+			ans.weight[tag] = 1
+		}
+	}
+	size := 16 + 20*len(ans.scores)
+	s.net.Send(simnet.Message{
+		From: self, To: q.origin, Kind: "cempar.answer", Size: size, Payload: ans,
+	})
+}
+
+// onAnswer accumulates one super-peer's vote at the origin.
+func (s *System) onAnswer(a answerMsg) {
+	pq, ok := s.pending[a.req]
+	if !ok || pq.done {
+		return
+	}
+	for tag, sc := range a.scores {
+		w := a.weight[tag]
+		pq.scoreSum[tag] += w * sc
+		pq.weightSum[tag] += w
+	}
+	pq.received++
+	if pq.received >= pq.expected {
+		s.finalize(a.req)
+	}
+}
+
+func (s *System) finalize(req uint64) {
+	pq, ok := s.pending[req]
+	if !ok || pq.done {
+		return
+	}
+	pq.done = true
+	delete(s.pending, req)
+	if pq.received == 0 {
+		pq.cb(nil, false)
+		return
+	}
+	out := make([]metrics.ScoredTag, 0, len(pq.scoreSum))
+	for tag, sum := range pq.scoreSum {
+		out = append(out, metrics.ScoredTag{Tag: tag, Score: sum / pq.weightSum[tag]})
+	}
+	pq.cb(out, true)
+}
+
+// Refine implements protocol.Refiner: the corrected document joins the
+// peer's training set, the affected tag models retrain and re-propagate.
+func (s *System) Refine(peer simnet.NodeID, doc protocol.Doc) {
+	p := s.peers[peer]
+	p.docs = append(p.docs, doc)
+	if !s.net.Alive(peer) {
+		return
+	}
+	s.trainLocal(peer)
+	s.propagate(peer)
+}
+
+// SuperPeers reports the current ground-truth super-peer of every region
+// (for experiment introspection).
+func (s *System) SuperPeers() []simnet.NodeID { return s.d.ElectSuperPeers(s.cfg.Regions) }
+
+// RegionalTagCount reports how many tags have a regional model at node id;
+// 0 for non-super-peers.
+func (s *System) RegionalTagCount(id simnet.NodeID) int { return len(s.peers[id].regional) }
+
+// String describes the configuration.
+func (s *System) String() string {
+	return fmt.Sprintf("CEMPaR(regions=%d kernel=%s weighted=%v)", s.cfg.Regions, s.cfg.Kernel.Kind, s.cfg.Weighted)
+}
+
+// DebugRegional exposes a super-peer's regional decision, calibration and
+// vote weight for one tag — used by diagnostic tools and tests.
+func (s *System) DebugRegional(id simnet.NodeID, tag string, x *vector.Sparse) (decision float64, platt svm.PlattParams, weight float64, ok bool) {
+	p := s.peers[id]
+	m, ok := p.regional[tag]
+	if !ok {
+		return 0, svm.PlattParams{}, 0, false
+	}
+	return m.Decision(x), p.regionalPlatt[tag], p.regionalWeight[tag], true
+}

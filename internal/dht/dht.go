@@ -1,0 +1,397 @@
+// Package dht implements a Chord-style structured overlay on top of the
+// simnet physical network: a 64-bit hash ring, finger tables, successor
+// lists, hop-by-hop routed lookups (each hop is a real simulated message
+// with latency and byte cost) and the deterministic super-peer election
+// CEMPaR relies on ("super-peers are automatically elected ... located in a
+// deterministic manner, made possible through the use of the DHT-based P2P
+// network").
+package dht
+
+import (
+	"crypto/sha1"
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/simnet"
+)
+
+// Hash is a position on the 64-bit ring.
+type Hash uint64
+
+// HashBytes maps arbitrary bytes onto the ring with SHA-1 (truncated to 64
+// bits), as Chord specifies.
+func HashBytes(b []byte) Hash {
+	sum := sha1.Sum(b)
+	return Hash(binary.BigEndian.Uint64(sum[:8]))
+}
+
+// HashString maps a string key onto the ring.
+func HashString(s string) Hash { return HashBytes([]byte(s)) }
+
+// HashNode maps a node id onto the ring.
+func HashNode(id simnet.NodeID) Hash {
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], uint64(id))
+	return HashBytes(buf[:])
+}
+
+// between reports whether x lies in the half-open ring interval (a, b].
+func between(a, b, x Hash) bool {
+	if a < b {
+		return x > a && x <= b
+	}
+	// Interval wraps around zero.
+	return x > a || x <= b
+}
+
+const (
+	fingerBits    = 64
+	successorList = 8
+	// lookupMsgSize approximates a Chord lookup packet: key, origin,
+	// request id and headers.
+	lookupMsgSize = 40
+	// stabilizeMsgSize approximates one successor-exchange packet.
+	stabilizeMsgSize = 24
+)
+
+// peer is the per-node DHT state.
+type peer struct {
+	id         simnet.NodeID
+	hash       Hash
+	fingers    []simnet.NodeID // fingers[i] = successor(hash + 2^i)
+	successors []simnet.NodeID
+	app        simnet.Handler // application handler for non-DHT messages
+}
+
+// LookupResult is delivered to the lookup origin.
+type LookupResult struct {
+	Key   Hash
+	Owner simnet.NodeID
+	Hops  int
+	// Failed is set when routing ran out of alive candidates (possible
+	// under extreme churn before restabilization).
+	Failed bool
+}
+
+// DHT manages the ring. All peers live in one simulation process; each
+// keeps its own finger-table snapshot, so routing state can go stale under
+// churn until Stabilize runs — exactly the failure mode the churn
+// experiments probe.
+type DHT struct {
+	net     *simnet.Network
+	peers   map[simnet.NodeID]*peer
+	pending map[uint64]func(LookupResult)
+	nextReq uint64
+}
+
+// lookupPayload travels inside simnet messages.
+type lookupPayload struct {
+	key    Hash
+	origin simnet.NodeID
+	req    uint64
+	hops   int
+}
+
+type replyPayload struct {
+	res LookupResult
+	req uint64
+}
+
+// New builds a ring over the given nodes, registering a handler for each on
+// the network. App handlers receive every non-"dht.*" message addressed to
+// the node. Finger tables are built immediately (equivalent to a completed
+// join protocol).
+func New(net *simnet.Network, ids []simnet.NodeID, app func(id simnet.NodeID) simnet.Handler) *DHT {
+	d := &DHT{
+		net:     net,
+		peers:   make(map[simnet.NodeID]*peer, len(ids)),
+		pending: make(map[uint64]func(LookupResult)),
+	}
+	for _, id := range ids {
+		p := &peer{id: id, hash: HashNode(id)}
+		if app != nil {
+			p.app = app(id)
+		}
+		d.peers[id] = p
+		nodeID := id
+		net.AddNode(id, simnet.HandlerFunc(func(n *simnet.Network, m simnet.Message) {
+			d.handle(nodeID, n, m)
+		}))
+	}
+	d.Stabilize()
+	return d
+}
+
+// Stabilize rebuilds every alive peer's fingers and successor list from the
+// current alive membership, charging the per-peer maintenance traffic that
+// a real Chord stabilization round would send. Call it periodically in
+// churn experiments.
+func (d *DHT) Stabilize() {
+	type entry struct {
+		hash Hash
+		id   simnet.NodeID
+	}
+	var ring []entry
+	for id, p := range d.peers {
+		if d.net.Alive(id) {
+			ring = append(ring, entry{p.hash, id})
+		}
+	}
+	if len(ring) == 0 {
+		return
+	}
+	sort.Slice(ring, func(i, j int) bool {
+		if ring[i].hash != ring[j].hash {
+			return ring[i].hash < ring[j].hash
+		}
+		return ring[i].id < ring[j].id
+	})
+	succ := func(h Hash) simnet.NodeID {
+		i := sort.Search(len(ring), func(i int) bool { return ring[i].hash >= h })
+		if i == len(ring) {
+			i = 0
+		}
+		return ring[i].id
+	}
+	for _, p := range d.peers {
+		if !d.net.Alive(p.id) {
+			continue
+		}
+		if p.fingers == nil {
+			p.fingers = make([]simnet.NodeID, fingerBits)
+		}
+		for i := 0; i < fingerBits; i++ {
+			p.fingers[i] = succ(p.hash + 1<<uint(i))
+		}
+		p.successors = p.successors[:0]
+		start := sort.Search(len(ring), func(i int) bool {
+			return ring[i].hash > p.hash || (ring[i].hash == p.hash && ring[i].id > p.id)
+		})
+		for k := 0; k < successorList && k < len(ring); k++ {
+			p.successors = append(p.successors, ring[(start+k)%len(ring)].id)
+		}
+		// Charge stabilization traffic: one successor-exchange with each
+		// live successor-list entry.
+		for range p.successors {
+			d.net.Send(simnet.Message{
+				From: p.id, To: p.successors[0], Kind: "dht.stabilize",
+				Size: stabilizeMsgSize,
+			})
+		}
+	}
+}
+
+// handle dispatches a delivered message to DHT routing or the app handler.
+func (d *DHT) handle(self simnet.NodeID, net *simnet.Network, m simnet.Message) {
+	switch m.Kind {
+	case "dht.lookup":
+		d.route(self, m.Payload.(lookupPayload))
+	case "dht.reply":
+		pl := m.Payload.(replyPayload)
+		if cb, ok := d.pending[pl.req]; ok {
+			delete(d.pending, pl.req)
+			cb(pl.res)
+		}
+	case "dht.stabilize":
+		// Maintenance traffic carries no application action.
+	default:
+		if p := d.peers[self]; p != nil && p.app != nil {
+			p.app.HandleMessage(net, m)
+		}
+	}
+}
+
+// Lookup resolves the owner of key starting at origin, invoking cb at the
+// origin when the reply returns. Each hop is a simulated message; run the
+// network to make progress.
+func (d *DHT) Lookup(origin simnet.NodeID, key Hash, cb func(LookupResult)) error {
+	p, ok := d.peers[origin]
+	if !ok {
+		return fmt.Errorf("dht: unknown origin %d", origin)
+	}
+	if !d.net.Alive(origin) {
+		return fmt.Errorf("dht: origin %d is down", origin)
+	}
+	req := d.nextReq
+	d.nextReq++
+	d.pending[req] = cb
+	d.routeFrom(p, lookupPayload{key: key, origin: origin, req: req})
+	return nil
+}
+
+// route continues a lookup at node self.
+func (d *DHT) route(self simnet.NodeID, pl lookupPayload) {
+	p := d.peers[self]
+	if p == nil || !d.net.Alive(self) {
+		return // message raced a failure; origin will never hear back
+	}
+	d.routeFrom(p, pl)
+}
+
+func (d *DHT) routeFrom(p *peer, pl lookupPayload) {
+	// Chord's routing rule: if key ∈ (p, successor] the successor owns it;
+	// otherwise forward to the closest alive finger preceding the key. A
+	// single-node ring owns everything (the interval test wraps to true).
+	succ, ok := p.firstAliveSuccessor(d)
+	if !ok {
+		d.reply(p, pl, LookupResult{Key: pl.key, Failed: true, Hops: pl.hops})
+		return
+	}
+	sp := d.peers[succ]
+	if succ == p.id || between(p.hash, sp.hash, pl.key) {
+		d.reply(p, pl, LookupResult{Key: pl.key, Owner: succ, Hops: pl.hops})
+		return
+	}
+	next := p.closestPreceding(d, pl.key)
+	if next == p.id {
+		// No finger precedes the key: hand to the successor.
+		next = succ
+	}
+	pl.hops++
+	d.net.Send(simnet.Message{
+		From: p.id, To: next, Kind: "dht.lookup", Size: lookupMsgSize, Payload: pl,
+	})
+}
+
+// reply sends the result back to the origin (or invokes the callback
+// directly when the origin answered its own query).
+func (d *DHT) reply(p *peer, pl lookupPayload, res LookupResult) {
+	if pl.origin == p.id {
+		if cb, ok := d.pending[pl.req]; ok {
+			delete(d.pending, pl.req)
+			cb(res)
+		}
+		return
+	}
+	d.net.Send(simnet.Message{
+		From: p.id, To: pl.origin, Kind: "dht.reply", Size: lookupMsgSize,
+		Payload: replyPayload{res: res, req: pl.req},
+	})
+}
+
+// firstAliveSuccessor returns the first alive entry of the successor list,
+// charging one probe message per dead entry skipped (the timeout cost a
+// real node would pay). ok is false when the whole list is dead.
+func (p *peer) firstAliveSuccessor(d *DHT) (id simnet.NodeID, ok bool) {
+	for i, s := range p.successors {
+		if d.net.Alive(s) {
+			return s, true
+		}
+		if i == 0 { // charge one failed probe; deeper scans batch
+			d.net.Send(simnet.Message{From: p.id, To: p.id, Kind: "dht.probe", Size: 16})
+		}
+	}
+	return 0, false
+}
+
+// closestPreceding returns the alive finger whose hash most closely
+// precedes key, per Chord's greedy routing rule.
+func (p *peer) closestPreceding(d *DHT, key Hash) simnet.NodeID {
+	for i := fingerBits - 1; i >= 0; i-- {
+		f := p.fingers[i]
+		if f == p.id {
+			continue
+		}
+		fp := d.peers[f]
+		if fp == nil || !d.net.Alive(f) {
+			continue
+		}
+		if between(p.hash, key-1, fp.hash) && fp.hash != key {
+			return f
+		}
+	}
+	return p.id
+}
+
+// Owner returns the ground-truth owner of key among alive nodes (successor
+// of key on the ring), or false when no node is alive. Experiments use it
+// to validate routed lookups.
+func (d *DHT) Owner(key Hash) (simnet.NodeID, bool) {
+	var best simnet.NodeID
+	bestDist := ^Hash(0)
+	found := false
+	for id, p := range d.peers {
+		if !d.net.Alive(id) {
+			continue
+		}
+		dist := p.hash - key // ring distance from key forward to p
+		if !found || dist < bestDist || (dist == bestDist && id < best) {
+			best, bestDist, found = id, dist, true
+		}
+	}
+	return best, found
+}
+
+// Send routes an application message directly (point-to-point, not via the
+// ring). It exists so higher layers do not need to keep both the network
+// and the DHT handle.
+func (d *DHT) Send(msg simnet.Message) { d.net.Send(msg) }
+
+// Network returns the underlying simulated network.
+func (d *DHT) Network() *simnet.Network { return d.net }
+
+// NodeHash returns the ring position of a node.
+func (d *DHT) NodeHash(id simnet.NodeID) Hash { return d.peers[id].hash }
+
+// Peers returns all node ids in the ring (alive or not), ascending.
+func (d *DHT) Peers() []simnet.NodeID {
+	ids := make([]simnet.NodeID, 0, len(d.peers))
+	for id := range d.peers {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// ---------------------------------------------------------------------------
+// Super-peer election
+
+// SuperPeerKey returns the deterministic ring key of region r out of n
+// regions. Every peer can compute it locally, which is what makes the
+// election deterministic.
+func SuperPeerKey(r, n int) Hash {
+	return HashString(fmt.Sprintf("p2pdoctagger/super-peer/%d/%d", r, n))
+}
+
+// Region assigns a peer to one of n regions by slicing the ring uniformly.
+func Region(h Hash, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	width := ^Hash(0)/Hash(n) + 1
+	r := int(h / width)
+	if r >= n {
+		r = n - 1
+	}
+	return r
+}
+
+// ElectSuperPeers returns the ground-truth super-peer of every region
+// (successor of the region key among alive nodes). Peers discover their
+// own region's super-peer with a routed Lookup; this helper gives
+// experiments the expected answer.
+func (d *DHT) ElectSuperPeers(regions int) []simnet.NodeID {
+	out := make([]simnet.NodeID, regions)
+	for r := 0; r < regions; r++ {
+		owner, ok := d.Owner(SuperPeerKey(r, regions))
+		if !ok {
+			out[r] = -1
+			continue
+		}
+		out[r] = owner
+	}
+	return out
+}
+
+// StartStabilizer schedules Stabilize every interval using system events,
+// mirroring Chord's periodic maintenance under churn.
+func (d *DHT) StartStabilizer(interval time.Duration) {
+	var tick func()
+	tick = func() {
+		d.Stabilize()
+		d.net.ScheduleSystem(interval, tick)
+	}
+	d.net.ScheduleSystem(interval, tick)
+}

@@ -1,0 +1,301 @@
+package dht
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/simnet"
+)
+
+func newRing(t *testing.T, n int) (*simnet.Network, *DHT) {
+	t.Helper()
+	net := simnet.New(simnet.Options{Latency: simnet.FixedLatency(5 * time.Millisecond), Seed: 1})
+	ids := make([]simnet.NodeID, n)
+	for i := range ids {
+		ids[i] = simnet.NodeID(i)
+	}
+	return net, New(net, ids, nil)
+}
+
+func TestBetween(t *testing.T) {
+	cases := []struct {
+		a, b, x Hash
+		want    bool
+	}{
+		{10, 20, 15, true},
+		{10, 20, 20, true},
+		{10, 20, 10, false},
+		{10, 20, 25, false},
+		{20, 10, 25, true},  // wrap
+		{20, 10, 5, true},   // wrap
+		{20, 10, 15, false}, // wrap
+		{5, 5, 7, true},     // single-node ring owns everything
+	}
+	for _, c := range cases {
+		if got := between(c.a, c.b, c.x); got != c.want {
+			t.Errorf("between(%d,%d,%d) = %v, want %v", c.a, c.b, c.x, got, c.want)
+		}
+	}
+}
+
+func TestHashDeterministic(t *testing.T) {
+	if HashString("x") != HashString("x") {
+		t.Error("HashString not deterministic")
+	}
+	if HashString("x") == HashString("y") {
+		t.Error("collision on trivial inputs")
+	}
+	if HashNode(1) == HashNode(2) {
+		t.Error("node hash collision")
+	}
+}
+
+func TestLookupFindsTrueOwner(t *testing.T) {
+	net, d := newRing(t, 64)
+	net.Run(0) // drain stabilization traffic
+	keys := []Hash{0, 1 << 60, HashString("alpha"), HashString("beta"), ^Hash(0)}
+	for _, key := range keys {
+		want, ok := d.Owner(key)
+		if !ok {
+			t.Fatal("no owner")
+		}
+		var got simnet.NodeID = -1
+		var hops int
+		if err := d.Lookup(3, key, func(r LookupResult) {
+			if r.Failed {
+				t.Fatalf("lookup failed for key %d", key)
+			}
+			got, hops = r.Owner, r.Hops
+		}); err != nil {
+			t.Fatal(err)
+		}
+		net.Run(0)
+		if got != want {
+			t.Errorf("key %d: owner = %d, want %d", key, got, want)
+		}
+		if hops > 10 {
+			t.Errorf("key %d took %d hops in a 64-node ring", key, hops)
+		}
+	}
+}
+
+func TestLookupOwnKeyReturnsSelfRange(t *testing.T) {
+	net, d := newRing(t, 16)
+	net.Run(0)
+	// A node's own hash must be owned by that node.
+	for id := simnet.NodeID(0); id < 16; id++ {
+		key := d.NodeHash(id)
+		var got simnet.NodeID = -1
+		if err := d.Lookup(0, key, func(r LookupResult) { got = r.Owner }); err != nil {
+			t.Fatal(err)
+		}
+		net.Run(0)
+		if got != id {
+			t.Errorf("own hash of node %d resolved to %d", id, got)
+		}
+	}
+}
+
+func TestLookupHopsLogarithmic(t *testing.T) {
+	net, d := newRing(t, 256)
+	net.Run(0)
+	total, count := 0, 0
+	for i := 0; i < 50; i++ {
+		key := HashString(string(rune('a'+i)) + "key")
+		if err := d.Lookup(simnet.NodeID(i%256), key, func(r LookupResult) {
+			total += r.Hops
+			count++
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	net.Run(0)
+	if count != 50 {
+		t.Fatalf("only %d lookups completed", count)
+	}
+	avg := float64(total) / float64(count)
+	// log2(256) = 8; average should be around half that, allow slack.
+	if avg > 10 {
+		t.Errorf("average hops = %v, want O(log n) ~ <= 10", avg)
+	}
+}
+
+func TestLookupSurvivesFailuresAfterStabilize(t *testing.T) {
+	net, d := newRing(t, 64)
+	net.Run(0)
+	// Kill a quarter of the ring, then restabilize.
+	for i := 0; i < 16; i++ {
+		net.Kill(simnet.NodeID(i * 4))
+	}
+	d.Stabilize()
+	net.Run(0)
+	key := HashString("after-failures")
+	want, _ := d.Owner(key)
+	var got simnet.NodeID = -1
+	if err := d.Lookup(1, key, func(r LookupResult) {
+		if r.Failed {
+			t.Fatal("lookup failed")
+		}
+		got = r.Owner
+	}); err != nil {
+		t.Fatal(err)
+	}
+	net.Run(0)
+	if got != want {
+		t.Errorf("owner = %d, want %d", got, want)
+	}
+	if !net.Alive(got) {
+		t.Error("lookup returned a dead owner")
+	}
+}
+
+func TestLookupWithStaleFingers(t *testing.T) {
+	// Kill nodes WITHOUT stabilizing: routing must still make progress via
+	// alive-finger selection, and the result must be an alive node that
+	// the true ring (among alive nodes) owns.
+	net, d := newRing(t, 64)
+	net.Run(0)
+	for i := 0; i < 8; i++ {
+		net.Kill(simnet.NodeID(i * 8))
+	}
+	key := HashString("stale")
+	completed := false
+	if err := d.Lookup(1, key, func(r LookupResult) {
+		completed = true
+		if r.Failed {
+			return // acceptable under stale state
+		}
+		if !net.Alive(r.Owner) {
+			t.Errorf("stale lookup returned dead owner %d", r.Owner)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	net.Run(0)
+	if !completed {
+		t.Log("lookup lost to a dead hop (acceptable under churn without stabilization)")
+	}
+}
+
+func TestLookupFromDeadOriginErrors(t *testing.T) {
+	net, d := newRing(t, 8)
+	net.Run(0)
+	net.Kill(3)
+	if err := d.Lookup(3, 42, func(LookupResult) {}); err == nil {
+		t.Error("lookup from dead origin should error")
+	}
+	if err := d.Lookup(99, 42, func(LookupResult) {}); err == nil {
+		t.Error("lookup from unknown origin should error")
+	}
+}
+
+func TestOwnerNoneAlive(t *testing.T) {
+	net, d := newRing(t, 4)
+	for i := 0; i < 4; i++ {
+		net.Kill(simnet.NodeID(i))
+	}
+	if _, ok := d.Owner(1); ok {
+		t.Error("Owner should report no owner when all dead")
+	}
+}
+
+func TestRegionPartitionsRingUniformly(t *testing.T) {
+	const regions = 8
+	counts := make([]int, regions)
+	for i := 0; i < 10000; i++ {
+		h := HashNode(simnet.NodeID(i))
+		r := Region(h, regions)
+		if r < 0 || r >= regions {
+			t.Fatalf("region %d out of range", r)
+		}
+		counts[r]++
+	}
+	for r, c := range counts {
+		if c < 800 || c > 1800 {
+			t.Errorf("region %d has %d of 10000 hashes (poor uniformity)", r, c)
+		}
+	}
+	if Region(12345, 1) != 0 {
+		t.Error("single region must be 0")
+	}
+	if Region(12345, 0) != 0 {
+		t.Error("zero regions must clamp to 0")
+	}
+}
+
+func TestElectSuperPeersDeterministicAndAlive(t *testing.T) {
+	net, d := newRing(t, 32)
+	net.Run(0)
+	a := d.ElectSuperPeers(4)
+	b := d.ElectSuperPeers(4)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("election not deterministic")
+		}
+		if !net.Alive(a[i]) {
+			t.Errorf("super-peer %d is dead", a[i])
+		}
+	}
+	// Killing a super-peer must elect a different one for its region.
+	net.Kill(a[0])
+	c := d.ElectSuperPeers(4)
+	if c[0] == a[0] {
+		t.Error("dead super-peer re-elected")
+	}
+	if !net.Alive(c[0]) {
+		t.Error("replacement super-peer is dead")
+	}
+}
+
+func TestStartStabilizerRunsPeriodically(t *testing.T) {
+	net, d := newRing(t, 16)
+	net.Run(0)
+	before := net.Stats().MessagesByKind["dht.stabilize"]
+	d.StartStabilizer(time.Second)
+	net.Run(5 * time.Second)
+	after := net.Stats().MessagesByKind["dht.stabilize"]
+	if after <= before {
+		t.Errorf("stabilizer sent no traffic: %d -> %d", before, after)
+	}
+}
+
+func TestSuperPeerKeyDistinct(t *testing.T) {
+	seen := map[Hash]bool{}
+	for r := 0; r < 16; r++ {
+		k := SuperPeerKey(r, 16)
+		if seen[k] {
+			t.Fatalf("duplicate super-peer key for region %d", r)
+		}
+		seen[k] = true
+	}
+}
+
+func TestPeersSorted(t *testing.T) {
+	_, d := newRing(t, 10)
+	ps := d.Peers()
+	if len(ps) != 10 {
+		t.Fatalf("Peers = %v", ps)
+	}
+	for i := 1; i < len(ps); i++ {
+		if ps[i] <= ps[i-1] {
+			t.Error("Peers not sorted")
+		}
+	}
+}
+
+func TestAppHandlerReceivesNonDHTMessages(t *testing.T) {
+	net := simnet.New(simnet.Options{Latency: simnet.FixedLatency(time.Millisecond)})
+	var got []simnet.Message
+	ids := []simnet.NodeID{0, 1}
+	New(net, ids, func(id simnet.NodeID) simnet.Handler {
+		return simnet.HandlerFunc(func(_ *simnet.Network, m simnet.Message) {
+			got = append(got, m)
+		})
+	})
+	net.Run(0)
+	net.Send(simnet.Message{From: 0, To: 1, Kind: "app.data", Size: 5})
+	net.Run(0)
+	if len(got) != 1 || got[0].Kind != "app.data" {
+		t.Errorf("app messages = %v", got)
+	}
+}

@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/cempar"
+	"repro/internal/p2pdmt"
+	"repro/internal/pace"
+	"repro/internal/textproc"
+)
+
+// A1CEMPaRAblations isolates CEMPaR's design choices: weighted vs
+// unweighted regional voting, querying all regions vs only the peer's own,
+// region count, and cascade fan-in. Expected shape: all-region weighted
+// voting with few large regions wins; fan-in mainly trades merge depth for
+// accuracy-neutral compute.
+func A1CEMPaRAblations(sc Scale) (*p2pdmt.Table, error) {
+	tbl := p2pdmt.NewTable("A1: CEMPaR design ablations",
+		"variant", "microF1", "precision", "recall", "queryBytes/query")
+	n := 32
+	if n > sc.MaxPeers {
+		n = sc.MaxPeers
+	}
+	variants := []struct {
+		name string
+		cfg  cempar.Config
+	}{
+		{"base (R=4, weighted, all-regions)", cempar.Config{Regions: 4, Weighted: true}},
+		{"unweighted voting", cempar.Config{Regions: 4, Weighted: false}},
+		{"own-region queries", cempar.Config{Regions: 4, Weighted: true, OwnRegionOnly: true}},
+		{"regions=2", cempar.Config{Regions: 2, Weighted: true}},
+		{"regions=8", cempar.Config{Regions: 8, Weighted: true}},
+		{"fan-in=2", cempar.Config{Regions: 4, Weighted: true, CascadeFanIn: 2}},
+		{"fan-in=8", cempar.Config{Regions: 4, Weighted: true, CascadeFanIn: 8}},
+	}
+	for _, v := range variants {
+		cfg := baseConfig(p2pdmt.ProtoCEMPaR, n, sc)
+		cfg.CEMPaR = v.cfg
+		res, err := p2pdmt.Run(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("A1 %s: %w", v.name, err)
+		}
+		perQuery := int64(0)
+		if res.TotalQueries > 0 {
+			perQuery = res.QueryCost.Bytes / int64(res.TotalQueries)
+		}
+		tbl.AddRow(v.name, res.Eval.MicroF1(), res.Eval.MicroPrecision(),
+			res.Eval.MicroRecall(), perQuery)
+	}
+	return tbl, nil
+}
+
+// A2Weighting compares term-weighting schemes in the preprocessing stage.
+// Expected shape: all three work; TF-IDF helps precision slightly on
+// Zipf-skewed vocabularies.
+func A2Weighting(sc Scale) (*p2pdmt.Table, error) {
+	tbl := p2pdmt.NewTable("A2: term-weighting ablation (CEMPaR)",
+		"weighting", "microF1", "precision", "recall")
+	n := 16
+	if n > sc.MaxPeers {
+		n = sc.MaxPeers
+	}
+	for _, w := range []textproc.Weighting{
+		textproc.TermFrequency, textproc.LogTF, textproc.TFIDF,
+	} {
+		cfg := baseConfig(p2pdmt.ProtoCEMPaR, n, sc)
+		cfg.Weighting = w
+		res, err := p2pdmt.Run(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("A2 %s: %w", w, err)
+		}
+		tbl.AddRow(w.String(), res.Eval.MicroF1(), res.Eval.MicroPrecision(),
+			res.Eval.MicroRecall())
+	}
+	return tbl, nil
+}
+
+// A3DropRate injects random message loss — the failure mode the paper's
+// "realistic P2P environments" phrase implies beyond churn. Expected
+// shape: CEMPaR degrades gracefully (lost model uploads shrink the
+// cascade; lost queries time out), PACE tolerates loss during training
+// (peers just know fewer models).
+func A3DropRate(sc Scale) (*p2pdmt.Table, error) {
+	tbl := p2pdmt.NewTable("A3: random message loss",
+		"dropRate", "protocol", "answered", "failed", "microF1")
+	n := 32
+	if n > sc.MaxPeers {
+		n = sc.MaxPeers
+	}
+	for _, drop := range []float64{0, 0.05, 0.15, 0.3} {
+		for _, proto := range []p2pdmt.ProtocolKind{p2pdmt.ProtoPACE, p2pdmt.ProtoCEMPaR} {
+			cfg := baseConfig(proto, n, sc)
+			cfg.DropRate = drop
+			res, err := p2pdmt.Run(cfg)
+			if err != nil {
+				return nil, fmt.Errorf("A3 %s drop=%v: %w", proto, drop, err)
+			}
+			tbl.AddRow(drop, res.Protocol, res.TotalQueries-res.FailedQueries,
+				res.FailedQueries, res.Eval.MicroF1())
+		}
+	}
+	return tbl, nil
+}
+
+// A4Privacy sweeps PACE's model-perturbation noise — the pluggable privacy
+// slot of §2 ("if we deploy a privacy preserving P2P classification
+// algorithm, P2PDocTagger will then inherit the privacy preserving
+// property"). Expected shape: the classic privacy-utility trade-off —
+// mild noise costs little accuracy, heavy noise approaches chance.
+func A4Privacy(sc Scale) (*p2pdmt.Table, error) {
+	tbl := p2pdmt.NewTable("A4: PACE privacy noise (privacy-utility trade-off)",
+		"noiseScale", "microF1", "precision", "recall")
+	n := 16
+	if n > sc.MaxPeers {
+		n = sc.MaxPeers
+	}
+	for _, noise := range []float64{0, 0.1, 0.3, 1.0, 3.0} {
+		cfg := baseConfig(p2pdmt.ProtoPACE, n, sc)
+		cfg.PACE = pace.Config{TopK: 5, NoiseScale: noise}
+		res, err := p2pdmt.Run(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("A4 noise=%v: %w", noise, err)
+		}
+		tbl.AddRow(noise, res.Eval.MicroF1(), res.Eval.MicroPrecision(),
+			res.Eval.MicroRecall())
+	}
+	return tbl, nil
+}

@@ -1,0 +1,213 @@
+package lsh
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/vector"
+)
+
+func randomUnit(rng *rand.Rand, dim int) *vector.Sparse {
+	m := make(map[int32]float64, dim)
+	for d := 0; d < dim; d++ {
+		m[int32(d)] = rng.NormFloat64()
+	}
+	return vector.FromMap(m).Normalize()
+}
+
+func TestQueryFindsExactMatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	ix := New(Options{Planes: 10, Tables: 4, Seed: 1})
+	vs := make([]*vector.Sparse, 50)
+	for i := range vs {
+		vs[i] = randomUnit(rng, 16)
+		ix.Add(i, vs[i])
+	}
+	for i, v := range vs {
+		res := ix.Query(v, 1)
+		if len(res) != 1 {
+			t.Fatalf("query %d returned %d results", i, len(res))
+		}
+		if res[0].ID != i {
+			// The exact vector has cosine 1; anything else winning means a
+			// duplicate vector, which random Gaussians make vanishingly
+			// unlikely.
+			t.Errorf("query %d: top id = %d (cos %v)", i, res[0].ID, res[0].Cosine)
+		}
+	}
+}
+
+func TestQueryPrefersNearbyVectors(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	ix := New(Options{Planes: 8, Tables: 6, Seed: 3})
+	base := randomUnit(rng, 16)
+	// id 0: a small perturbation of base; ids 1..30: random.
+	near := base.Axpy(0.1, randomUnit(rng, 16)).Normalize()
+	ix.Add(0, near)
+	for i := 1; i <= 30; i++ {
+		ix.Add(i, randomUnit(rng, 16))
+	}
+	res := ix.Query(base, 3)
+	if len(res) == 0 || res[0].ID != 0 {
+		t.Errorf("expected near vector first, got %+v", res)
+	}
+}
+
+func TestQueryKLargerThanIndex(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	ix := New(Options{Seed: 1})
+	for i := 0; i < 5; i++ {
+		ix.Add(i, randomUnit(rng, 8))
+	}
+	res := ix.Query(randomUnit(rng, 8), 50)
+	if len(res) != 5 {
+		t.Errorf("got %d results, want all 5", len(res))
+	}
+	// Results must be sorted by descending cosine.
+	for i := 1; i < len(res); i++ {
+		if res[i].Cosine > res[i-1].Cosine {
+			t.Error("results not sorted")
+		}
+	}
+}
+
+func TestQueryEmptyAndZeroK(t *testing.T) {
+	ix := New(Options{Seed: 1})
+	q := vector.FromMap(map[int32]float64{0: 1})
+	if res := ix.Query(q, 3); res != nil {
+		t.Errorf("empty index returned %v", res)
+	}
+	ix.Add(1, q)
+	if res := ix.Query(q, 0); res != nil {
+		t.Errorf("k=0 returned %v", res)
+	}
+}
+
+func TestRemove(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	ix := New(Options{Seed: 2})
+	v := randomUnit(rng, 8)
+	ix.Add(7, v)
+	if ix.Len() != 1 {
+		t.Fatalf("Len = %d", ix.Len())
+	}
+	ix.Remove(7)
+	if ix.Len() != 0 {
+		t.Fatalf("Len after remove = %d", ix.Len())
+	}
+	if res := ix.Query(v, 1); len(res) != 0 {
+		t.Errorf("removed item still returned: %v", res)
+	}
+	ix.Remove(7) // absent: no-op, no panic
+}
+
+func TestAddReplaces(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	ix := New(Options{Seed: 2})
+	ix.Add(1, randomUnit(rng, 8))
+	v2 := randomUnit(rng, 8)
+	ix.Add(1, v2)
+	if ix.Len() != 1 {
+		t.Fatalf("Len = %d after replace", ix.Len())
+	}
+	res := ix.Query(v2, 1)
+	if len(res) != 1 || res[0].Cosine < 0.999 {
+		t.Errorf("replaced vector not found: %v", res)
+	}
+}
+
+func TestSignatureInsertionOrderIndependent(t *testing.T) {
+	// Hyperplane coefficients must depend only on (seed, plane, dim) so
+	// the same vector hashes identically no matter what was added before.
+	rng := rand.New(rand.NewSource(6))
+	v := randomUnit(rng, 32)
+	a := New(Options{Planes: 16, Tables: 2, Seed: 9})
+	b := New(Options{Planes: 16, Tables: 2, Seed: 9})
+	// Warm b with other vectors first.
+	for i := 0; i < 10; i++ {
+		b.Add(100+i, randomUnit(rng, 32))
+	}
+	for tbl := 0; tbl < 2; tbl++ {
+		if a.signature(tbl, v) != b.signature(tbl, v) {
+			t.Fatalf("table %d signature differs with warm cache", tbl)
+		}
+	}
+}
+
+func TestDifferentSeedsDifferentPlanes(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	v := randomUnit(rng, 32)
+	a := New(Options{Planes: 32, Tables: 1, Seed: 1})
+	b := New(Options{Planes: 32, Tables: 1, Seed: 2})
+	if a.signature(0, v) == b.signature(0, v) {
+		t.Error("different seeds produced identical 32-bit signatures (unlikely)")
+	}
+}
+
+func TestRecallAgainstLinearScan(t *testing.T) {
+	// Clustered data (PACE's actual workload: model centroids from topical
+	// document collections). Uniformly random high-dimensional vectors all
+	// have near-zero pairwise cosine, so recall there is meaningless.
+	rng := rand.New(rand.NewSource(8))
+	ix := New(Options{Planes: 10, Tables: 8, Seed: 4})
+	centers := make([]*vector.Sparse, 10)
+	for i := range centers {
+		centers[i] = randomUnit(rng, 24)
+	}
+	vs := make([]*vector.Sparse, 200)
+	for i := range vs {
+		c := centers[i%len(centers)]
+		vs[i] = c.Axpy(0.3, randomUnit(rng, 24)).Normalize()
+		ix.Add(i, vs[i])
+	}
+	const k = 10
+	hits, total := 0, 0
+	for trial := 0; trial < 20; trial++ {
+		q := centers[trial%len(centers)].Axpy(0.3, randomUnit(rng, 24)).Normalize()
+		// Exact top-k by linear scan.
+		type pair struct {
+			id  int
+			cos float64
+		}
+		exact := make([]pair, len(vs))
+		for i, v := range vs {
+			exact[i] = pair{i, q.Cosine(v)}
+		}
+		for i := 0; i < k; i++ { // partial selection sort
+			best := i
+			for j := i + 1; j < len(exact); j++ {
+				if exact[j].cos > exact[best].cos {
+					best = j
+				}
+			}
+			exact[i], exact[best] = exact[best], exact[i]
+		}
+		want := map[int]bool{}
+		for i := 0; i < k; i++ {
+			want[exact[i].id] = true
+		}
+		for _, n := range ix.Query(q, k) {
+			if want[n.ID] {
+				hits++
+			}
+		}
+		total += k
+	}
+	recall := float64(hits) / float64(total)
+	if recall < 0.5 {
+		t.Errorf("top-%d recall = %v, want >= 0.5", k, recall)
+	}
+}
+
+func BenchmarkQuery(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	ix := New(Options{Planes: 12, Tables: 4, Seed: 1})
+	for i := 0; i < 1000; i++ {
+		ix.Add(i, randomUnit(rng, 32))
+	}
+	q := randomUnit(rng, 32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.Query(q, 10)
+	}
+}

@@ -1,0 +1,162 @@
+package overlay
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/simnet"
+)
+
+func build(t *testing.T, n, degree int) (*simnet.Network, *Overlay, *[]simnet.NodeID) {
+	t.Helper()
+	net := simnet.New(simnet.Options{Latency: simnet.FixedLatency(time.Millisecond), Seed: 1})
+	ids := make([]simnet.NodeID, n)
+	for i := range ids {
+		ids[i] = simnet.NodeID(i)
+	}
+	var delivered []simnet.NodeID
+	handlerTarget := &delivered
+	o := New(net, ids, func(_ *simnet.Network, from simnet.NodeID, kind string, payload any) {
+		*handlerTarget = append(*handlerTarget, from)
+	}, Options{Degree: degree, Seed: 2})
+	return net, o, handlerTarget
+}
+
+func TestGraphConnectivityAndDegree(t *testing.T) {
+	_, o, _ := build(t, 50, 4)
+	// BFS from node 0 must reach everyone.
+	visited := map[simnet.NodeID]bool{0: true}
+	queue := []simnet.NodeID{0}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, nb := range o.Neighbors(cur) {
+			if !visited[nb] {
+				visited[nb] = true
+				queue = append(queue, nb)
+			}
+		}
+	}
+	if len(visited) != 50 {
+		t.Fatalf("graph disconnected: reached %d of 50", len(visited))
+	}
+	for i := 0; i < 50; i++ {
+		if d := len(o.Neighbors(simnet.NodeID(i))); d < 4 {
+			t.Errorf("node %d degree %d < 4", i, d)
+		}
+	}
+}
+
+func TestFloodReachesAllPeers(t *testing.T) {
+	net, o, _ := build(t, 40, 4)
+	o.Flood(0, "model", 100, "payload", 32)
+	net.Run(0)
+	id := o.LastBroadcastID()
+	if cov := o.Coverage(id); cov != 40 {
+		t.Errorf("flood coverage = %d of 40", cov)
+	}
+}
+
+func TestFloodTTLLimitsReach(t *testing.T) {
+	net, o, _ := build(t, 40, 2) // ring-heavy graph, long paths
+	o.Flood(0, "model", 10, nil, 2)
+	net.Run(0)
+	id := o.LastBroadcastID()
+	if cov := o.Coverage(id); cov >= 40 {
+		t.Errorf("TTL=2 flood covered the whole 40-node ring (coverage %d)", cov)
+	}
+}
+
+func TestFloodSkipsDeadPeers(t *testing.T) {
+	net, o, _ := build(t, 30, 4)
+	for i := 10; i < 15; i++ {
+		net.Kill(simnet.NodeID(i))
+	}
+	o.Flood(0, "model", 10, nil, 32)
+	net.Run(0)
+	id := o.LastBroadcastID()
+	cov := o.Coverage(id)
+	// All alive peers reachable around the dead region via chords.
+	if cov < 20 {
+		t.Errorf("coverage = %d, want most of the 25 alive peers", cov)
+	}
+	for i := 10; i < 15; i++ {
+		if net.Alive(simnet.NodeID(i)) {
+			t.Fatal("test setup wrong")
+		}
+	}
+}
+
+func TestGossipCoversMostPeers(t *testing.T) {
+	net, o, _ := build(t, 60, 6)
+	o.Gossip(0, "model", 50, nil, 3)
+	net.Run(0)
+	id := o.LastBroadcastID()
+	cov := o.Coverage(id)
+	if cov < 45 {
+		t.Errorf("gossip coverage = %d of 60, want >= 45", cov)
+	}
+}
+
+func TestGossipCheaperThanFlood(t *testing.T) {
+	netF, oF, _ := build(t, 60, 8)
+	oF.Flood(0, "m", 100, nil, 32)
+	netF.Run(0)
+	floodMsgs := netF.Stats().MessagesSent
+
+	netG, oG, _ := build(t, 60, 8)
+	oG.Gossip(0, "m", 100, nil, 2)
+	netG.Run(0)
+	gossipMsgs := netG.Stats().MessagesSent
+
+	if gossipMsgs >= floodMsgs {
+		t.Errorf("gossip (%d msgs) not cheaper than flood (%d msgs)", gossipMsgs, floodMsgs)
+	}
+}
+
+func TestHandlerSeesOriginAndPayload(t *testing.T) {
+	net := simnet.New(simnet.Options{Latency: simnet.FixedLatency(time.Millisecond), Seed: 1})
+	ids := []simnet.NodeID{0, 1, 2, 3}
+	type rec struct {
+		from simnet.NodeID
+		kind string
+		pl   any
+	}
+	var got []rec
+	o := New(net, ids, func(_ *simnet.Network, from simnet.NodeID, kind string, pl any) {
+		got = append(got, rec{from, kind, pl})
+	}, Options{Degree: 2, Seed: 3})
+	o.Flood(2, "tagmodel", 64, "hello", 8)
+	net.Run(0)
+	if len(got) != 3 { // everyone except the origin
+		t.Fatalf("handler fired %d times, want 3", len(got))
+	}
+	for _, r := range got {
+		if r.from != 2 || r.kind != "tagmodel" || r.pl != "hello" {
+			t.Errorf("bad delivery %+v", r)
+		}
+	}
+}
+
+func TestDuplicateSuppression(t *testing.T) {
+	net, o, delivered := build(t, 20, 6)
+	o.Flood(0, "m", 10, nil, 32)
+	net.Run(0)
+	// Each peer's handler must fire exactly once despite receiving the
+	// envelope from several neighbors.
+	if len(*delivered) != 19 {
+		t.Errorf("handler fired %d times, want 19 (once per non-origin peer)", len(*delivered))
+	}
+}
+
+func TestTwoNodeOverlay(t *testing.T) {
+	net := simnet.New(simnet.Options{Latency: simnet.FixedLatency(time.Millisecond)})
+	fired := 0
+	New(net, []simnet.NodeID{0, 1}, func(_ *simnet.Network, _ simnet.NodeID, _ string, _ any) {
+		fired++
+	}, Options{Degree: 4, Seed: 1}).Flood(0, "m", 1, nil, 4)
+	net.Run(0)
+	if fired != 1 {
+		t.Errorf("fired = %d, want 1", fired)
+	}
+}

@@ -1,0 +1,99 @@
+package p2pdmt
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/dataset"
+)
+
+// Distribution selects how training documents are spread over peers — the
+// "Distribute data" box of the toolkit architecture (Fig. 2) and the
+// demo's "size and class distributions" knobs.
+type Distribution struct {
+	// SizeZipf skews per-peer collection sizes with a Zipf exponent: 0
+	// keeps the corpus's natural per-user assignment, larger values
+	// concentrate documents on few peers.
+	SizeZipf float64
+	// ClassSort groups documents of the same tags onto the same peers
+	// (extreme class skew) when true; combined with SizeZipf it builds
+	// the hardest non-IID settings.
+	ClassSort bool
+	// Seed drives the reassignment shuffle.
+	Seed int64
+}
+
+// Assign maps documents onto n peers according to the distribution,
+// returning one document slice per peer index. The natural assignment
+// (doc.User % n) is used when no skew is configured.
+func (d Distribution) Assign(docs []dataset.Document, n int) [][]dataset.Document {
+	out := make([][]dataset.Document, n)
+	if d.SizeZipf == 0 && !d.ClassSort {
+		for _, doc := range docs {
+			p := doc.User % n
+			out[p] = append(out[p], doc)
+		}
+		return out
+	}
+	rng := rand.New(rand.NewSource(d.Seed))
+	pool := append([]dataset.Document(nil), docs...)
+	if d.ClassSort {
+		// Order documents by their first tag so contiguous chunks share
+		// topics, then deal chunks to peers.
+		sort.SliceStable(pool, func(i, j int) bool {
+			ti, tj := "", ""
+			if len(pool[i].Tags) > 0 {
+				ti = pool[i].Tags[0]
+			}
+			if len(pool[j].Tags) > 0 {
+				tj = pool[j].Tags[0]
+			}
+			if ti != tj {
+				return ti < tj
+			}
+			return pool[i].ID < pool[j].ID
+		})
+	} else {
+		rng.Shuffle(len(pool), func(i, j int) { pool[i], pool[j] = pool[j], pool[i] })
+	}
+	// Per-peer quota from Zipf weights (uniform when SizeZipf is 0).
+	weights := make([]float64, n)
+	var total float64
+	for i := range weights {
+		if d.SizeZipf == 0 {
+			weights[i] = 1
+		} else {
+			weights[i] = 1 / math.Pow(float64(i+1), d.SizeZipf)
+		}
+		total += weights[i]
+	}
+	quota := make([]int, n)
+	assigned := 0
+	for i := range quota {
+		quota[i] = int(float64(len(pool)) * weights[i] / total)
+		if quota[i] < 1 {
+			quota[i] = 1 // every peer holds at least one training doc
+		}
+		assigned += quota[i]
+	}
+	// Fix rounding drift on the largest quota.
+	quota[0] += len(pool) - assigned
+	if quota[0] < 1 {
+		quota[0] = 1
+	}
+	idx := 0
+	for p := 0; p < n && idx < len(pool); p++ {
+		take := quota[p]
+		if idx+take > len(pool) {
+			take = len(pool) - idx
+		}
+		out[p] = append(out[p], pool[idx:idx+take]...)
+		idx += take
+	}
+	// Any remainder (possible when quotas were clamped) round-robins.
+	for p := 0; idx < len(pool); p, idx = (p+1)%n, idx+1 {
+		out[p] = append(out[p], pool[idx])
+	}
+	return out
+}

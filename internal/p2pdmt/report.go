@@ -1,0 +1,107 @@
+package p2pdmt
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/simnet"
+)
+
+// Table collects experiment rows and renders them aligned for terminals or
+// as CSV — the "Visualize statistics" box of Fig. 2.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// NewTable returns a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; values are formatted with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.4f", v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values (quotes are not needed
+// for the numeric/identifier cells experiments produce).
+func (t *Table) CSV() string {
+	var b strings.Builder
+	b.WriteString(strings.Join(t.Headers, ","))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		b.WriteString(strings.Join(row, ","))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// VisualizeRing renders an ASCII view of node liveness ('●' up, '·' down),
+// 64 nodes per line — the toolkit's "Visualize network" feature.
+func VisualizeRing(net *simnet.Network) string {
+	var b strings.Builder
+	ids := net.Nodes()
+	alive := 0
+	for i, id := range ids {
+		if i > 0 && i%64 == 0 {
+			b.WriteByte('\n')
+		}
+		if net.Alive(id) {
+			b.WriteRune('●')
+			alive++
+		} else {
+			b.WriteRune('·')
+		}
+	}
+	fmt.Fprintf(&b, "\n%d/%d nodes alive\n", alive, len(ids))
+	return b.String()
+}

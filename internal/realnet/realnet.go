@@ -1,0 +1,516 @@
+// Package realnet is the real-network deployment path of P2PDocTagger,
+// backing the paper's claim that "code written for P2PDMT is reusable in
+// real applications": actual TCP peers exchange the same calibrated
+// one-vs-all tag models the simulator's PACE protocol broadcasts, using
+// the binary encodings of internal/wire.
+//
+// A Node listens on TCP, discovers peers transitively through HELLO
+// frames, trains linear SVM tag models from its locally tagged documents,
+// broadcasts them with Publish, and answers tag queries locally from the
+// ensemble of every model set it has received — so queries keep working
+// when every other peer is gone, exactly like the simulated protocol.
+package realnet
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/protocol"
+	"repro/internal/svm"
+	"repro/internal/textproc"
+	"repro/internal/wire"
+)
+
+// Frame types of the node protocol. Every frame is
+// [type byte][length uint32][payload].
+const (
+	frameHello  = 1 // payload: sender listen addr + known peer addrs
+	frameModels = 2 // payload: a model set
+)
+
+// maxFrame bounds a frame payload (corrupt peers must not OOM us).
+const maxFrame = 64 << 20
+
+// Config configures a Node.
+type Config struct {
+	// ListenAddr is the TCP address to listen on ("127.0.0.1:0" picks a
+	// free port).
+	ListenAddr string
+	// Seeds are addresses of existing peers to join through.
+	Seeds []string
+	// C is the linear SVM penalty; default 1.
+	C float64
+	// Seed drives training.
+	Seed int64
+}
+
+// modelSet is what a node publishes: per-tag calibrated models with
+// cross-validated accuracies.
+type modelSet struct {
+	models   map[string]*svm.LinearModel
+	platt    map[string]svm.PlattParams
+	accuracy map[string]float64
+}
+
+// Node is one real-network tagging peer. All exported methods are safe for
+// concurrent use.
+type Node struct {
+	cfg Config
+	pre *textproc.Preprocessor
+	ln  net.Listener
+
+	mu     sync.Mutex
+	docs   []protocol.Doc
+	peers  map[string]bool // known peer listen addresses
+	remote map[string]*modelSet
+	own    *modelSet
+
+	wg sync.WaitGroup
+}
+
+// Start launches a node: it listens, joins through the seeds and begins
+// accepting model broadcasts.
+func Start(cfg Config) (*Node, error) {
+	if cfg.ListenAddr == "" {
+		cfg.ListenAddr = "127.0.0.1:0"
+	}
+	if cfg.C == 0 {
+		cfg.C = 1
+	}
+	ln, err := net.Listen("tcp", cfg.ListenAddr)
+	if err != nil {
+		return nil, fmt.Errorf("realnet: listen: %w", err)
+	}
+	n := &Node{
+		cfg: cfg,
+		// Hashed feature ids: independently running peers must agree on
+		// what every weight index means without coordinating a lexicon.
+		pre: textproc.NewPreprocessor(nil, textproc.Options{
+			Weighting: textproc.TermFrequency, Normalize: true,
+			HashDim: 1 << 16,
+		}),
+		ln:     ln,
+		peers:  make(map[string]bool),
+		remote: make(map[string]*modelSet),
+	}
+	n.wg.Add(1)
+	go n.acceptLoop()
+	for _, s := range cfg.Seeds {
+		n.addPeer(s)
+	}
+	// Announce ourselves to the seeds so they learn our address.
+	n.broadcastHello()
+	return n, nil
+}
+
+// Addr returns the node's actual listen address.
+func (n *Node) Addr() string { return n.ln.Addr().String() }
+
+// Close stops the listener and waits for in-flight handlers to drain.
+func (n *Node) Close() error {
+	err := n.ln.Close()
+	n.wg.Wait()
+	return err
+}
+
+// Peers returns the currently known peer addresses, sorted.
+func (n *Node) Peers() []string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]string, 0, len(n.peers))
+	for p := range n.peers {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ModelsKnown reports how many peers' model sets this node holds
+// (excluding its own).
+func (n *Node) ModelsKnown() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.remote)
+}
+
+// AddDocument stores a manually tagged document for the next Publish.
+func (n *Node) AddDocument(text string, tags ...string) error {
+	if len(tags) == 0 {
+		return errors.New("realnet: a tagged document needs at least one tag")
+	}
+	doc := protocol.Doc{X: n.pre.Vectorize(text), Tags: append([]string(nil), tags...)}
+	n.mu.Lock()
+	n.docs = append(n.docs, doc)
+	n.mu.Unlock()
+	return nil
+}
+
+// Publish trains the local per-tag models and broadcasts them to every
+// known peer. It returns the number of peers reached.
+func (n *Node) Publish() (int, error) {
+	n.mu.Lock()
+	docs := append([]protocol.Doc(nil), n.docs...)
+	n.mu.Unlock()
+	if len(docs) == 0 {
+		return 0, errors.New("realnet: no tagged documents to learn from")
+	}
+	ms := &modelSet{
+		models:   make(map[string]*svm.LinearModel),
+		platt:    make(map[string]svm.PlattParams),
+		accuracy: make(map[string]float64),
+	}
+	for _, tag := range protocol.TagUniverse(docs) {
+		exs := protocol.BinaryExamples(docs, tag)
+		m, err := svm.TrainLinear(exs, svm.LinearOptions{C: n.cfg.C, Seed: n.cfg.Seed})
+		if err != nil {
+			continue
+		}
+		m = m.Pruned(0.02)
+		platt, acc := svm.CalibrateLinearCV(exs, svm.LinearOptions{C: n.cfg.C, Seed: n.cfg.Seed}, m, 3)
+		ms.models[tag] = m
+		ms.platt[tag] = platt
+		ms.accuracy[tag] = acc
+	}
+	if len(ms.models) == 0 {
+		return 0, errors.New("realnet: local documents are one-class; tag more variety first")
+	}
+	n.mu.Lock()
+	n.own = ms
+	n.mu.Unlock()
+
+	payload, err := encodeModelSet(n.Addr(), ms)
+	if err != nil {
+		return 0, err
+	}
+	reached := 0
+	for _, p := range n.Peers() {
+		if n.sendFrame(p, frameModels, payload) == nil {
+			reached++
+		}
+	}
+	return reached, nil
+}
+
+// Suggest scores every known tag for text using the ensemble of all model
+// sets this node holds (its own plus every peer's), weighted by
+// cross-validated accuracy over chance, pooled in log-odds space — the
+// same vote as the simulated PACE protocol with k = all.
+func (n *Node) Suggest(text string) ([]metrics.ScoredTag, error) {
+	x := n.pre.Vectorize(text)
+	n.mu.Lock()
+	sets := make([]*modelSet, 0, len(n.remote)+1)
+	if n.own != nil {
+		sets = append(sets, n.own)
+	}
+	addrs := make([]string, 0, len(n.remote))
+	for a := range n.remote {
+		addrs = append(addrs, a)
+	}
+	sort.Strings(addrs)
+	for _, a := range addrs {
+		sets = append(sets, n.remote[a])
+	}
+	n.mu.Unlock()
+	if len(sets) == 0 {
+		return nil, errors.New("realnet: no models known yet (publish or wait for peers)")
+	}
+	logitSum := map[string]float64{}
+	weightSum := map[string]float64{}
+	for _, ms := range sets {
+		tags := make([]string, 0, len(ms.models))
+		for tag := range ms.models {
+			tags = append(tags, tag)
+		}
+		sort.Strings(tags)
+		for _, tag := range tags {
+			w := ms.accuracy[tag] - 0.5
+			if w <= 0 {
+				continue
+			}
+			p := ms.platt[tag].Prob(ms.models[tag].Decision(x))
+			logitSum[tag] += w * clampLogit(p)
+			weightSum[tag] += w
+		}
+	}
+	out := make([]metrics.ScoredTag, 0, len(logitSum))
+	for tag, sum := range logitSum {
+		out = append(out, metrics.ScoredTag{Tag: tag, Score: protocol.Sigmoid(sum / weightSum[tag])})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Tag < out[j].Tag
+	})
+	return out, nil
+}
+
+// AutoTag assigns tags above threshold (falling back to the single best).
+func (n *Node) AutoTag(text string, threshold float64, maxTags int) ([]string, error) {
+	scores, err := n.Suggest(text)
+	if err != nil {
+		return nil, err
+	}
+	return protocol.SelectTags(scores, threshold, maxTags), nil
+}
+
+func clampLogit(p float64) float64 {
+	const lim = 6
+	if p < 1e-9 {
+		return -lim
+	}
+	if p > 1-1e-9 {
+		return lim
+	}
+	l := math.Log(p / (1 - p))
+	if l > lim {
+		return lim
+	}
+	if l < -lim {
+		return -lim
+	}
+	return l
+}
+
+// ---------------------------------------------------------------------------
+// Networking
+
+func (n *Node) acceptLoop() {
+	defer n.wg.Done()
+	for {
+		conn, err := n.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		n.wg.Add(1)
+		go func() {
+			defer n.wg.Done()
+			defer conn.Close()
+			n.handleConn(conn)
+		}()
+	}
+}
+
+func (n *Node) handleConn(conn net.Conn) {
+	_ = conn.SetDeadline(time.Now().Add(30 * time.Second))
+	for {
+		typ, payload, err := readFrame(conn)
+		if err != nil {
+			return
+		}
+		switch typ {
+		case frameHello:
+			n.onHello(payload)
+		case frameModels:
+			n.onModels(payload)
+		}
+	}
+}
+
+func (n *Node) onHello(payload []byte) {
+	addrs, err := decodeHello(payload)
+	if err != nil || len(addrs) == 0 {
+		return
+	}
+	// First address is the sender; the rest are its known peers
+	// (transitive discovery).
+	var fresh []string
+	n.mu.Lock()
+	for _, a := range addrs {
+		if a != "" && a != n.ln.Addr().String() && !n.peers[a] {
+			n.peers[a] = true
+			fresh = append(fresh, a)
+		}
+	}
+	n.mu.Unlock()
+	// Introduce ourselves to newly learned peers.
+	for _, a := range fresh {
+		_ = n.sendHello(a)
+	}
+}
+
+func (n *Node) onModels(payload []byte) {
+	sender, ms, err := decodeModelSet(payload)
+	if err != nil {
+		return
+	}
+	n.mu.Lock()
+	n.remote[sender] = ms
+	if sender != n.ln.Addr().String() {
+		n.peers[sender] = true
+	}
+	n.mu.Unlock()
+}
+
+func (n *Node) addPeer(addr string) {
+	n.mu.Lock()
+	if addr != "" && addr != n.ln.Addr().String() {
+		n.peers[addr] = true
+	}
+	n.mu.Unlock()
+}
+
+func (n *Node) broadcastHello() {
+	for _, p := range n.Peers() {
+		_ = n.sendHello(p)
+	}
+}
+
+func (n *Node) sendHello(to string) error {
+	payload := encodeHello(append([]string{n.Addr()}, n.Peers()...))
+	return n.sendFrame(to, frameHello, payload)
+}
+
+// sendFrame dials, writes one frame and closes. Dial-per-message is slow
+// but simple and correct; model broadcasts are rare events.
+func (n *Node) sendFrame(to string, typ byte, payload []byte) error {
+	conn, err := net.DialTimeout("tcp", to, 5*time.Second)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(30 * time.Second))
+	return writeFrame(conn, typ, payload)
+}
+
+func writeFrame(w io.Writer, typ byte, payload []byte) error {
+	hdr := [5]byte{typ}
+	binary.LittleEndian.PutUint32(hdr[1:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+func readFrame(r io.Reader) (byte, []byte, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	size := binary.LittleEndian.Uint32(hdr[1:])
+	if size > maxFrame {
+		return 0, nil, fmt.Errorf("realnet: frame of %d bytes exceeds limit", size)
+	}
+	payload := make([]byte, size)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, err
+	}
+	return hdr[0], payload, nil
+}
+
+// ---------------------------------------------------------------------------
+// Payload encodings (built on internal/wire primitives)
+
+func encodeHello(addrs []string) []byte {
+	var buf bytes.Buffer
+	_ = binary.Write(&buf, binary.LittleEndian, uint16(len(addrs)))
+	for _, a := range addrs {
+		_ = binary.Write(&buf, binary.LittleEndian, uint16(len(a)))
+		buf.WriteString(a)
+	}
+	return buf.Bytes()
+}
+
+func decodeHello(payload []byte) ([]string, error) {
+	r := bytes.NewReader(payload)
+	var n uint16
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return nil, err
+	}
+	if int(n) > 10000 {
+		return nil, errors.New("realnet: absurd hello")
+	}
+	out := make([]string, 0, n)
+	for i := 0; i < int(n); i++ {
+		var l uint16
+		if err := binary.Read(r, binary.LittleEndian, &l); err != nil {
+			return nil, err
+		}
+		b := make([]byte, l)
+		if _, err := io.ReadFull(r, b); err != nil {
+			return nil, err
+		}
+		out = append(out, string(b))
+	}
+	return out, nil
+}
+
+func encodeModelSet(sender string, ms *modelSet) ([]byte, error) {
+	var buf bytes.Buffer
+	_ = binary.Write(&buf, binary.LittleEndian, uint16(len(sender)))
+	buf.WriteString(sender)
+	tags := make([]string, 0, len(ms.models))
+	for tag := range ms.models {
+		tags = append(tags, tag)
+	}
+	sort.Strings(tags)
+	_ = binary.Write(&buf, binary.LittleEndian, uint16(len(tags)))
+	for _, tag := range tags {
+		_ = binary.Write(&buf, binary.LittleEndian, uint16(len(tag)))
+		buf.WriteString(tag)
+		if err := wire.WriteLinearModel(&buf, ms.models[tag]); err != nil {
+			return nil, err
+		}
+		pl := ms.platt[tag]
+		_ = binary.Write(&buf, binary.LittleEndian, math.Float64bits(pl.A))
+		_ = binary.Write(&buf, binary.LittleEndian, math.Float64bits(pl.B))
+		_ = binary.Write(&buf, binary.LittleEndian, math.Float64bits(ms.accuracy[tag]))
+	}
+	return buf.Bytes(), nil
+}
+
+func decodeModelSet(payload []byte) (string, *modelSet, error) {
+	r := bytes.NewReader(payload)
+	var sl uint16
+	if err := binary.Read(r, binary.LittleEndian, &sl); err != nil {
+		return "", nil, err
+	}
+	sb := make([]byte, sl)
+	if _, err := io.ReadFull(r, sb); err != nil {
+		return "", nil, err
+	}
+	var nTags uint16
+	if err := binary.Read(r, binary.LittleEndian, &nTags); err != nil {
+		return "", nil, err
+	}
+	ms := &modelSet{
+		models:   make(map[string]*svm.LinearModel, nTags),
+		platt:    make(map[string]svm.PlattParams, nTags),
+		accuracy: make(map[string]float64, nTags),
+	}
+	for i := 0; i < int(nTags); i++ {
+		var tl uint16
+		if err := binary.Read(r, binary.LittleEndian, &tl); err != nil {
+			return "", nil, err
+		}
+		tb := make([]byte, tl)
+		if _, err := io.ReadFull(r, tb); err != nil {
+			return "", nil, err
+		}
+		m, err := wire.ReadLinearModel(r)
+		if err != nil {
+			return "", nil, err
+		}
+		var a, b, acc uint64
+		for _, dst := range []*uint64{&a, &b, &acc} {
+			if err := binary.Read(r, binary.LittleEndian, dst); err != nil {
+				return "", nil, err
+			}
+		}
+		tag := string(tb)
+		ms.models[tag] = m
+		ms.platt[tag] = svm.PlattParams{A: math.Float64frombits(a), B: math.Float64frombits(b)}
+		ms.accuracy[tag] = math.Float64frombits(acc)
+	}
+	return string(sb), ms, nil
+}

@@ -1,0 +1,390 @@
+// Package simnet is a deterministic discrete-event simulator of a physical
+// P2P network — the bottom layer of the P2PDMT toolkit (Fig. 2 of the
+// paper: "Configure physical network / Simulate physical network / Simulate
+// node failures"). Nodes exchange messages with configurable latency, every
+// message is charged its wire size, and churn processes take nodes up and
+// down according to session-length distributions.
+//
+// The simulator is single-threaded and driven by a virtual clock, so runs
+// are exactly reproducible for a given seed.
+package simnet
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// NodeID identifies a simulated node.
+type NodeID int
+
+// Message is a simulated datagram. Size is the number of wire bytes charged
+// to the network; Payload is passed to the destination handler by reference
+// (the simulator models transfer cost, not marshaling).
+type Message struct {
+	From, To NodeID
+	Kind     string
+	Size     int
+	Payload  any
+}
+
+// Handler receives messages delivered to a node.
+type Handler interface {
+	HandleMessage(net *Network, msg Message)
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(net *Network, msg Message)
+
+// HandleMessage calls f.
+func (f HandlerFunc) HandleMessage(net *Network, msg Message) { f(net, msg) }
+
+// LifecycleHandler is an optional extension: nodes implementing it are told
+// when churn takes them down or brings them back.
+type LifecycleHandler interface {
+	NodeDown(net *Network)
+	NodeUp(net *Network)
+}
+
+// LatencyModel yields the one-way delay for a message.
+type LatencyModel interface {
+	Delay(rng *rand.Rand, from, to NodeID) time.Duration
+}
+
+// FixedLatency delays every message by a constant.
+type FixedLatency time.Duration
+
+// Delay returns the constant delay.
+func (f FixedLatency) Delay(*rand.Rand, NodeID, NodeID) time.Duration {
+	return time.Duration(f)
+}
+
+// UniformLatency draws delays uniformly from [Min, Max].
+type UniformLatency struct {
+	Min, Max time.Duration
+}
+
+// Delay returns a uniform random delay.
+func (u UniformLatency) Delay(rng *rand.Rand, _, _ NodeID) time.Duration {
+	if u.Max <= u.Min {
+		return u.Min
+	}
+	return u.Min + time.Duration(rng.Int63n(int64(u.Max-u.Min)))
+}
+
+// ClusteredLatency models a two-level topology: nodes in the same cluster
+// (id / ClusterSize) see Local delay, others see Remote delay, both with
+// ±Jitter uniform noise. It approximates OverSim's grouped underlay.
+type ClusteredLatency struct {
+	ClusterSize   int
+	Local, Remote time.Duration
+	Jitter        time.Duration
+}
+
+// Delay returns the topology-dependent delay.
+func (c ClusteredLatency) Delay(rng *rand.Rand, from, to NodeID) time.Duration {
+	base := c.Remote
+	if c.ClusterSize > 0 && int(from)/c.ClusterSize == int(to)/c.ClusterSize {
+		base = c.Local
+	}
+	if c.Jitter > 0 {
+		base += time.Duration(rng.Int63n(int64(2*c.Jitter))) - c.Jitter
+	}
+	if base < 0 {
+		base = 0
+	}
+	return base
+}
+
+// event is a scheduled occurrence: either a message delivery or a timer.
+type event struct {
+	at    time.Duration
+	seq   uint64 // tie-break for determinism
+	msg   *Message
+	fn    func()
+	owner NodeID // for timers: skip if owner is down (unless system timer)
+	sys   bool   // system events (churn) fire regardless of liveness
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+type node struct {
+	handler Handler
+	alive   bool
+}
+
+// Stats accumulates traffic and liveness counters for a run.
+type Stats struct {
+	MessagesSent      int64
+	MessagesDelivered int64
+	MessagesDropped   int64 // dead destination or random loss
+	BytesSent         int64
+	BytesDelivered    int64
+	BytesByKind       map[string]int64
+	MessagesByKind    map[string]int64
+	BytesByNode       map[NodeID]int64 // bytes sent per node
+	Failures          int64            // churn down events
+	Recoveries        int64            // churn up events
+}
+
+func newStats() Stats {
+	return Stats{
+		BytesByKind:    make(map[string]int64),
+		MessagesByKind: make(map[string]int64),
+		BytesByNode:    make(map[NodeID]int64),
+	}
+}
+
+// Options configures a Network.
+type Options struct {
+	// Latency is the delay model; default FixedLatency(50ms).
+	Latency LatencyModel
+	// DropRate is the probability a message is silently lost in transit.
+	DropRate float64
+	// Seed drives latency jitter, drops and churn.
+	Seed int64
+}
+
+// Network is the simulated physical network. All methods must be called
+// from a single goroutine (handlers run inline during Run).
+type Network struct {
+	now     time.Duration
+	seq     uint64
+	queue   eventHeap
+	nodes   map[NodeID]*node
+	latency LatencyModel
+	rng     *rand.Rand
+	drop    float64
+	stats   Stats
+	logf    func(format string, args ...any)
+}
+
+// New returns an empty network.
+func New(opts Options) *Network {
+	lat := opts.Latency
+	if lat == nil {
+		lat = FixedLatency(50 * time.Millisecond)
+	}
+	return &Network{
+		nodes:   make(map[NodeID]*node),
+		latency: lat,
+		rng:     rand.New(rand.NewSource(opts.Seed)),
+		drop:    opts.DropRate,
+		stats:   newStats(),
+	}
+}
+
+// SetLogf installs an activity logger; nil disables logging.
+func (n *Network) SetLogf(logf func(format string, args ...any)) { n.logf = logf }
+
+func (n *Network) log(format string, args ...any) {
+	if n.logf != nil {
+		n.logf("[%8.3fs] "+format, append([]any{n.now.Seconds()}, args...)...)
+	}
+}
+
+// AddNode registers a node with its message handler. Adding an existing id
+// replaces its handler and revives it.
+func (n *Network) AddNode(id NodeID, h Handler) {
+	n.nodes[id] = &node{handler: h, alive: true}
+}
+
+// RemoveNode deletes a node entirely (distinct from churn, which only marks
+// it down).
+func (n *Network) RemoveNode(id NodeID) { delete(n.nodes, id) }
+
+// Nodes returns all registered node ids in ascending order.
+func (n *Network) Nodes() []NodeID {
+	ids := make([]NodeID, 0, len(n.nodes))
+	for id := range n.nodes {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// AliveNodes returns the ids of all currently-up nodes in ascending order.
+func (n *Network) AliveNodes() []NodeID {
+	ids := make([]NodeID, 0, len(n.nodes))
+	for id, nd := range n.nodes {
+		if nd.alive {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// Alive reports whether id exists and is up.
+func (n *Network) Alive(id NodeID) bool {
+	nd, ok := n.nodes[id]
+	return ok && nd.alive
+}
+
+// Now returns the current virtual time.
+func (n *Network) Now() time.Duration { return n.now }
+
+// Rand exposes the simulation RNG so protocols can make deterministic
+// random choices tied to the run seed.
+func (n *Network) Rand() *rand.Rand { return n.rng }
+
+// Stats returns a snapshot of the accumulated counters.
+func (n *Network) Stats() Stats {
+	s := n.stats
+	s.BytesByKind = make(map[string]int64, len(n.stats.BytesByKind))
+	for k, v := range n.stats.BytesByKind {
+		s.BytesByKind[k] = v
+	}
+	s.MessagesByKind = make(map[string]int64, len(n.stats.MessagesByKind))
+	for k, v := range n.stats.MessagesByKind {
+		s.MessagesByKind[k] = v
+	}
+	s.BytesByNode = make(map[NodeID]int64, len(n.stats.BytesByNode))
+	for k, v := range n.stats.BytesByNode {
+		s.BytesByNode[k] = v
+	}
+	return s
+}
+
+// ResetStats zeroes the traffic counters (used between the training and
+// prediction phases of an experiment so each phase is accounted
+// separately).
+func (n *Network) ResetStats() { n.stats = newStats() }
+
+// Send schedules msg for delivery after the model latency. Sending from a
+// dead node is a programming error and panics; sending to a dead or unknown
+// node silently drops (that is what a real network does).
+func (n *Network) Send(msg Message) {
+	src, ok := n.nodes[msg.From]
+	if !ok || !src.alive {
+		panic(fmt.Sprintf("simnet: send from dead or unknown node %d", msg.From))
+	}
+	n.stats.MessagesSent++
+	n.stats.BytesSent += int64(msg.Size)
+	n.stats.BytesByKind[msg.Kind] += int64(msg.Size)
+	n.stats.MessagesByKind[msg.Kind]++
+	n.stats.BytesByNode[msg.From] += int64(msg.Size)
+	if n.drop > 0 && n.rng.Float64() < n.drop {
+		n.stats.MessagesDropped++
+		n.log("DROP %s %d->%d (%dB)", msg.Kind, msg.From, msg.To, msg.Size)
+		return
+	}
+	delay := n.latency.Delay(n.rng, msg.From, msg.To)
+	m := msg
+	n.push(&event{at: n.now + delay, msg: &m})
+}
+
+// Schedule runs fn after delay, provided owner is still alive at that time.
+func (n *Network) Schedule(owner NodeID, delay time.Duration, fn func()) {
+	n.push(&event{at: n.now + delay, fn: fn, owner: owner})
+}
+
+// ScheduleSystem runs fn after delay regardless of node liveness; churn and
+// measurement processes use it.
+func (n *Network) ScheduleSystem(delay time.Duration, fn func()) {
+	n.push(&event{at: n.now + delay, fn: fn, sys: true})
+}
+
+func (n *Network) push(e *event) {
+	e.seq = n.seq
+	n.seq++
+	heap.Push(&n.queue, e)
+}
+
+// Kill marks a node down, notifying its LifecycleHandler. In-flight
+// messages to it are dropped at delivery time.
+func (n *Network) Kill(id NodeID) {
+	nd, ok := n.nodes[id]
+	if !ok || !nd.alive {
+		return
+	}
+	nd.alive = false
+	n.stats.Failures++
+	n.log("DOWN node %d", id)
+	if lh, ok := nd.handler.(LifecycleHandler); ok {
+		lh.NodeDown(n)
+	}
+}
+
+// Revive brings a node back up, notifying its LifecycleHandler.
+func (n *Network) Revive(id NodeID) {
+	nd, ok := n.nodes[id]
+	if !ok || nd.alive {
+		return
+	}
+	nd.alive = true
+	n.stats.Recoveries++
+	n.log("UP   node %d", id)
+	if lh, ok := nd.handler.(LifecycleHandler); ok {
+		lh.NodeUp(n)
+	}
+}
+
+// Step processes the next event. It reports false when the queue is empty.
+func (n *Network) Step() bool {
+	if len(n.queue) == 0 {
+		return false
+	}
+	e := heap.Pop(&n.queue).(*event)
+	if e.at > n.now {
+		n.now = e.at
+	}
+	switch {
+	case e.msg != nil:
+		dst, ok := n.nodes[e.msg.To]
+		if !ok || !dst.alive {
+			n.stats.MessagesDropped++
+			n.log("LOST %s %d->%d (dest down)", e.msg.Kind, e.msg.From, e.msg.To)
+			return true
+		}
+		n.stats.MessagesDelivered++
+		n.stats.BytesDelivered += int64(e.msg.Size)
+		dst.handler.HandleMessage(n, *e.msg)
+	case e.sys:
+		e.fn()
+	default:
+		if nd, ok := n.nodes[e.owner]; ok && nd.alive {
+			e.fn()
+		}
+	}
+	return true
+}
+
+// Run processes events until the queue is empty or virtual time exceeds
+// until (zero means run to quiescence). It returns the number of events
+// processed.
+func (n *Network) Run(until time.Duration) int {
+	processed := 0
+	for len(n.queue) > 0 {
+		if until > 0 && n.queue[0].at > until {
+			n.now = until
+			break
+		}
+		n.Step()
+		processed++
+	}
+	return processed
+}
+
+// RunFor advances the simulation by d from the current time.
+func (n *Network) RunFor(d time.Duration) int { return n.Run(n.now + d) }

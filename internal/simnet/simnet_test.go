@@ -1,0 +1,289 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+)
+
+// recorder collects delivered messages.
+type recorder struct {
+	got  []Message
+	down int
+	up   int
+}
+
+func (r *recorder) HandleMessage(_ *Network, msg Message) { r.got = append(r.got, msg) }
+func (r *recorder) NodeDown(*Network)                     { r.down++ }
+func (r *recorder) NodeUp(*Network)                       { r.up++ }
+
+func TestSendDeliversWithLatency(t *testing.T) {
+	n := New(Options{Latency: FixedLatency(10 * time.Millisecond)})
+	r := &recorder{}
+	n.AddNode(1, HandlerFunc(func(*Network, Message) {}))
+	n.AddNode(2, r)
+	n.Send(Message{From: 1, To: 2, Kind: "ping", Size: 100})
+	if len(r.got) != 0 {
+		t.Fatal("message delivered synchronously")
+	}
+	n.Run(0)
+	if len(r.got) != 1 {
+		t.Fatalf("delivered %d messages", len(r.got))
+	}
+	if n.Now() != 10*time.Millisecond {
+		t.Errorf("Now = %v, want 10ms", n.Now())
+	}
+	s := n.Stats()
+	if s.MessagesSent != 1 || s.MessagesDelivered != 1 || s.BytesSent != 100 {
+		t.Errorf("stats = %+v", s)
+	}
+	if s.BytesByKind["ping"] != 100 || s.MessagesByKind["ping"] != 1 {
+		t.Errorf("kind stats = %+v", s)
+	}
+	if s.BytesByNode[1] != 100 {
+		t.Errorf("per-node bytes = %+v", s.BytesByNode)
+	}
+}
+
+func TestSendToDeadNodeDrops(t *testing.T) {
+	n := New(Options{Latency: FixedLatency(time.Millisecond)})
+	r := &recorder{}
+	n.AddNode(1, HandlerFunc(func(*Network, Message) {}))
+	n.AddNode(2, r)
+	n.Kill(2)
+	n.Send(Message{From: 1, To: 2, Kind: "x", Size: 10})
+	n.Run(0)
+	if len(r.got) != 0 {
+		t.Error("dead node received message")
+	}
+	if s := n.Stats(); s.MessagesDropped != 1 {
+		t.Errorf("dropped = %d, want 1", s.MessagesDropped)
+	}
+}
+
+func TestSendFromDeadNodePanics(t *testing.T) {
+	n := New(Options{})
+	n.AddNode(1, HandlerFunc(func(*Network, Message) {}))
+	n.Kill(1)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	n.Send(Message{From: 1, To: 1})
+}
+
+func TestInFlightMessageLostWhenDestDies(t *testing.T) {
+	n := New(Options{Latency: FixedLatency(100 * time.Millisecond)})
+	r := &recorder{}
+	n.AddNode(1, HandlerFunc(func(*Network, Message) {}))
+	n.AddNode(2, r)
+	n.Send(Message{From: 1, To: 2, Kind: "x", Size: 1})
+	// Kill node 2 at t=50ms, before delivery at t=100ms.
+	n.ScheduleSystem(50*time.Millisecond, func() { n.Kill(2) })
+	n.Run(0)
+	if len(r.got) != 0 {
+		t.Error("message delivered to node that died in flight")
+	}
+}
+
+func TestDropRate(t *testing.T) {
+	n := New(Options{Latency: FixedLatency(time.Millisecond), DropRate: 1.0, Seed: 1})
+	r := &recorder{}
+	n.AddNode(1, HandlerFunc(func(*Network, Message) {}))
+	n.AddNode(2, r)
+	for i := 0; i < 10; i++ {
+		n.Send(Message{From: 1, To: 2, Kind: "x", Size: 1})
+	}
+	n.Run(0)
+	if len(r.got) != 0 {
+		t.Errorf("drop rate 1.0 still delivered %d", len(r.got))
+	}
+	if s := n.Stats(); s.MessagesDropped != 10 {
+		t.Errorf("dropped = %d", s.MessagesDropped)
+	}
+}
+
+func TestScheduleRespectsLiveness(t *testing.T) {
+	n := New(Options{})
+	n.AddNode(1, HandlerFunc(func(*Network, Message) {}))
+	fired := 0
+	n.Schedule(1, 10*time.Millisecond, func() { fired++ })
+	n.Schedule(1, 30*time.Millisecond, func() { fired++ })
+	n.ScheduleSystem(20*time.Millisecond, func() { n.Kill(1) })
+	n.Run(0)
+	if fired != 1 {
+		t.Errorf("fired = %d, want 1 (second timer owner was dead)", fired)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() (time.Duration, int64) {
+		n := New(Options{Latency: UniformLatency{Min: time.Millisecond, Max: 50 * time.Millisecond}, Seed: 42})
+		var last time.Duration
+		n.AddNode(1, HandlerFunc(func(net *Network, m Message) { last = net.Now() }))
+		n.AddNode(2, HandlerFunc(func(net *Network, m Message) {
+			net.Send(Message{From: 2, To: 1, Kind: "pong", Size: 8})
+		}))
+		for i := 0; i < 20; i++ {
+			n.Send(Message{From: 1, To: 2, Kind: "ping", Size: 8})
+		}
+		n.Run(0)
+		return last, n.Stats().BytesDelivered
+	}
+	t1, b1 := run()
+	t2, b2 := run()
+	if t1 != t2 || b1 != b2 {
+		t.Errorf("non-deterministic: (%v,%d) vs (%v,%d)", t1, b1, t2, b2)
+	}
+}
+
+func TestRunUntilBoundary(t *testing.T) {
+	n := New(Options{Latency: FixedLatency(time.Second)})
+	r := &recorder{}
+	n.AddNode(1, HandlerFunc(func(*Network, Message) {}))
+	n.AddNode(2, r)
+	n.Send(Message{From: 1, To: 2, Kind: "x", Size: 1})
+	n.Run(500 * time.Millisecond)
+	if len(r.got) != 0 {
+		t.Error("event past the horizon was processed")
+	}
+	if n.Now() != 500*time.Millisecond {
+		t.Errorf("Now = %v", n.Now())
+	}
+	n.RunFor(time.Second)
+	if len(r.got) != 1 {
+		t.Error("event not processed after extending the horizon")
+	}
+}
+
+func TestKillReviveLifecycle(t *testing.T) {
+	n := New(Options{})
+	r := &recorder{}
+	n.AddNode(1, r)
+	n.Kill(1)
+	n.Kill(1) // idempotent
+	n.Revive(1)
+	n.Revive(1) // idempotent
+	if r.down != 1 || r.up != 1 {
+		t.Errorf("down=%d up=%d, want 1/1", r.down, r.up)
+	}
+	s := n.Stats()
+	if s.Failures != 1 || s.Recoveries != 1 {
+		t.Errorf("stats failures=%d recoveries=%d", s.Failures, s.Recoveries)
+	}
+}
+
+func TestAliveNodes(t *testing.T) {
+	n := New(Options{})
+	for i := 1; i <= 4; i++ {
+		n.AddNode(NodeID(i), HandlerFunc(func(*Network, Message) {}))
+	}
+	n.Kill(2)
+	alive := n.AliveNodes()
+	if len(alive) != 3 {
+		t.Fatalf("alive = %v", alive)
+	}
+	for i := 1; i < len(alive); i++ {
+		if alive[i] <= alive[i-1] {
+			t.Error("alive nodes not sorted")
+		}
+	}
+	if n.Alive(2) || !n.Alive(3) || n.Alive(99) {
+		t.Error("Alive() wrong")
+	}
+}
+
+func TestResetStats(t *testing.T) {
+	n := New(Options{Latency: FixedLatency(time.Millisecond)})
+	n.AddNode(1, HandlerFunc(func(*Network, Message) {}))
+	n.AddNode(2, HandlerFunc(func(*Network, Message) {}))
+	n.Send(Message{From: 1, To: 2, Kind: "x", Size: 10})
+	n.Run(0)
+	n.ResetStats()
+	s := n.Stats()
+	if s.MessagesSent != 0 || s.BytesSent != 0 || len(s.BytesByKind) != 0 {
+		t.Errorf("stats not reset: %+v", s)
+	}
+}
+
+func TestStatsSnapshotIsolation(t *testing.T) {
+	n := New(Options{Latency: FixedLatency(time.Millisecond)})
+	n.AddNode(1, HandlerFunc(func(*Network, Message) {}))
+	n.AddNode(2, HandlerFunc(func(*Network, Message) {}))
+	n.Send(Message{From: 1, To: 2, Kind: "x", Size: 10})
+	s := n.Stats()
+	s.BytesByKind["x"] = 999999
+	if n.Stats().BytesByKind["x"] == 999999 {
+		t.Error("Stats() exposes internal map")
+	}
+}
+
+func TestClusteredLatency(t *testing.T) {
+	n := New(Options{Latency: ClusteredLatency{ClusterSize: 4, Local: time.Millisecond, Remote: 100 * time.Millisecond}})
+	var localAt, remoteAt time.Duration
+	n.AddNode(0, HandlerFunc(func(*Network, Message) {}))
+	n.AddNode(1, HandlerFunc(func(net *Network, m Message) { localAt = net.Now() }))
+	n.AddNode(5, HandlerFunc(func(net *Network, m Message) { remoteAt = net.Now() }))
+	n.Send(Message{From: 0, To: 1, Kind: "x", Size: 1}) // same cluster (0-3)
+	n.Send(Message{From: 0, To: 5, Kind: "x", Size: 1}) // other cluster
+	n.Run(0)
+	if localAt != time.Millisecond {
+		t.Errorf("local delay = %v", localAt)
+	}
+	if remoteAt != 100*time.Millisecond {
+		t.Errorf("remote delay = %v", remoteAt)
+	}
+}
+
+func TestExponentialChurnTakesNodesUpAndDown(t *testing.T) {
+	n := New(Options{Seed: 3})
+	r := &recorder{}
+	n.AddNode(1, r)
+	StartChurn(n, ExponentialChurn{MeanUptime: 10 * time.Second, MeanDowntime: 5 * time.Second}, nil)
+	n.Run(10 * time.Minute)
+	if r.down == 0 || r.up == 0 {
+		t.Errorf("churn never cycled: down=%d up=%d", r.down, r.up)
+	}
+	// Downs and ups interleave, so they differ by at most one.
+	if d := r.down - r.up; d < 0 || d > 1 {
+		t.Errorf("down=%d up=%d", r.down, r.up)
+	}
+}
+
+func TestNoChurnIsQuiet(t *testing.T) {
+	n := New(Options{Seed: 3})
+	r := &recorder{}
+	n.AddNode(1, r)
+	StartChurn(n, NoChurn{}, nil)
+	n.Run(time.Hour)
+	if r.down != 0 {
+		t.Errorf("NoChurn produced %d failures", r.down)
+	}
+}
+
+func TestChurnStop(t *testing.T) {
+	n := New(Options{Seed: 4})
+	r := &recorder{}
+	n.AddNode(1, r)
+	cp := StartChurn(n, ExponentialChurn{MeanUptime: time.Second, MeanDowntime: time.Second}, nil)
+	n.Run(10 * time.Second)
+	cp.Stop()
+	down := r.down
+	n.Run(10 * time.Minute)
+	// One already-scheduled event may fire a state change before the stop
+	// flag is observed, but cycling must cease.
+	if r.down > down+1 {
+		t.Errorf("churn continued after Stop: %d -> %d", down, r.down)
+	}
+}
+
+func TestParetoChurnHeavyTail(t *testing.T) {
+	n := New(Options{Seed: 5})
+	model := ParetoChurn{MinUptime: time.Second, Alpha: 1.5, MeanDowntime: time.Second}
+	// All draws must be >= MinUptime.
+	for i := 0; i < 1000; i++ {
+		if u := model.Uptime(n.Rand()); u < time.Second {
+			t.Fatalf("Pareto uptime %v below minimum", u)
+		}
+	}
+}

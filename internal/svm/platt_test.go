@@ -1,0 +1,189 @@
+package svm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/vector"
+)
+
+func TestPlattProbBounds(t *testing.T) {
+	p := PlattParams{A: -1, B: 0}
+	if got := p.Prob(0); got != 0.5 {
+		t.Errorf("Prob(0) = %v", got)
+	}
+	if got := p.Prob(100); got < 0.999 {
+		t.Errorf("Prob(100) = %v", got)
+	}
+	if got := p.Prob(-100); got > 0.001 {
+		t.Errorf("Prob(-100) = %v", got)
+	}
+	// Extreme inputs stay finite and in [0,1].
+	for _, f := range []float64{1e300, -1e300, 0} {
+		got := p.Prob(f)
+		if math.IsNaN(got) || got < 0 || got > 1 {
+			t.Errorf("Prob(%v) = %v", f, got)
+		}
+	}
+}
+
+func TestPlattCalibrateSeparatedData(t *testing.T) {
+	// Decisions +2 for positives, -2 for negatives: the fitted sigmoid
+	// must give high probability to positive decisions.
+	var dec, lab []float64
+	for i := 0; i < 50; i++ {
+		dec = append(dec, 2, -2)
+		lab = append(lab, 1, -1)
+	}
+	p := PlattCalibrate(dec, lab)
+	if p.A >= 0 {
+		t.Fatalf("A = %v, want negative (monotone increasing prob)", p.A)
+	}
+	if p.Prob(2) < 0.8 || p.Prob(-2) > 0.2 {
+		t.Errorf("calibration weak: P(+2)=%v P(-2)=%v", p.Prob(2), p.Prob(-2))
+	}
+	if p.Prob(0) < 0.3 || p.Prob(0) > 0.7 {
+		t.Errorf("P(0) = %v, want near 0.5 for balanced data", p.Prob(0))
+	}
+}
+
+func TestPlattCalibrateSkewedPrior(t *testing.T) {
+	// 10% positives: a zero decision should map below 0.5.
+	var dec, lab []float64
+	for i := 0; i < 100; i++ {
+		if i < 10 {
+			dec = append(dec, 1+0.1*float64(i%5))
+			lab = append(lab, 1)
+		} else {
+			dec = append(dec, -1-0.1*float64(i%5))
+			lab = append(lab, -1)
+		}
+	}
+	p := PlattCalibrate(dec, lab)
+	if p.Prob(0) >= 0.5 {
+		t.Errorf("P(0) = %v with 10%% positives, want < 0.5", p.Prob(0))
+	}
+}
+
+func TestPlattCalibrateDegenerate(t *testing.T) {
+	if p := PlattCalibrate(nil, nil); p != DefaultPlatt {
+		t.Error("empty input should yield DefaultPlatt")
+	}
+	if p := PlattCalibrate([]float64{1, 2}, []float64{1, 1}); p != DefaultPlatt {
+		t.Error("one-class input should yield DefaultPlatt")
+	}
+	if p := PlattCalibrate([]float64{1}, []float64{1, -1}); p != DefaultPlatt {
+		t.Error("mismatched lengths should yield DefaultPlatt")
+	}
+}
+
+func TestGuardPlatt(t *testing.T) {
+	good := PlattParams{A: -2, B: 0.1}
+	if got := guardPlatt(good, 100); got != good {
+		t.Error("healthy calibration rejected")
+	}
+	if got := guardPlatt(PlattParams{A: 1, B: 0}, 100); got != DefaultPlatt {
+		t.Error("inverted calibration accepted")
+	}
+	if got := guardPlatt(good, 5); got != DefaultPlatt {
+		t.Error("tiny-sample calibration accepted")
+	}
+}
+
+func TestCrossValDecisionsOutOfSample(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	data := gaussianBlobs(rng, 90, 4, 2.0)
+	full, err := TrainLinear(data, LinearOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := CrossValDecisions(data, 3, full, func(tr []Example) (Classifier, error) {
+		return TrainLinear(tr, LinearOptions{Seed: 1})
+	})
+	if len(dec) != len(data) {
+		t.Fatalf("got %d decisions", len(dec))
+	}
+	// Separable data: CV accuracy should be high.
+	labels := make([]float64, len(data))
+	for i, ex := range data {
+		labels[i] = ex.Y
+	}
+	if acc := CVAccuracy(dec, labels); acc < 0.9 {
+		t.Errorf("CV accuracy = %v", acc)
+	}
+}
+
+func TestCrossValDecisionsFallback(t *testing.T) {
+	// A train function that always fails must fall back to the provided
+	// classifier.
+	fallback := &LinearModel{W: []float64{1}, Bias: 0}
+	data := []Example{
+		{X: vector.FromMap(map[int32]float64{0: 1}), Y: 1},
+		{X: vector.FromMap(map[int32]float64{0: -1}), Y: -1},
+	}
+	dec := CrossValDecisions(data, 2, fallback, func([]Example) (Classifier, error) {
+		return nil, ErrOneClass
+	})
+	if dec[0] != 1 || dec[1] != -1 {
+		t.Errorf("fallback decisions = %v", dec)
+	}
+	// Nil fallback: decisions stay zero, no panic.
+	dec = CrossValDecisions(data, 2, nil, func([]Example) (Classifier, error) {
+		return nil, ErrOneClass
+	})
+	if dec[0] != 0 || dec[1] != 0 {
+		t.Errorf("nil-fallback decisions = %v", dec)
+	}
+}
+
+func TestCVAccuracyEmpty(t *testing.T) {
+	if CVAccuracy(nil, nil) != 0 {
+		t.Error("empty CVAccuracy should be 0")
+	}
+}
+
+func TestCalibrateLinearCVReturnsAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	data := gaussianBlobs(rng, 80, 4, 2.0)
+	full, err := TrainLinear(data, LinearOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	platt, acc := CalibrateLinearCV(data, LinearOptions{Seed: 1}, full, 3)
+	if acc < 0.9 {
+		t.Errorf("cv accuracy = %v", acc)
+	}
+	if platt.A >= 0 {
+		t.Errorf("A = %v, want negative", platt.A)
+	}
+}
+
+func TestPropertyPlattMonotone(t *testing.T) {
+	// A fitted (non-inverted) sigmoid must be monotone increasing in the
+	// decision value.
+	var dec, lab []float64
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 60; i++ {
+		y := 1.0
+		if i%2 == 0 {
+			y = -1
+		}
+		dec = append(dec, y+0.5*rng.NormFloat64())
+		lab = append(lab, y)
+	}
+	p := PlattCalibrate(dec, lab)
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) || math.IsInf(a, 0) || math.IsInf(b, 0) {
+			return true
+		}
+		if a > b {
+			a, b = b, a
+		}
+		return p.Prob(a) <= p.Prob(b)+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,259 @@
+package tagstore
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// CloudEdge is a co-occurrence edge between two tags ("tags that co-occur
+// in documents are connected by edges", Fig. 4).
+type CloudEdge struct {
+	A, B   string // A < B lexicographically
+	Weight int    // number of documents where both appear
+}
+
+// TagCloud is the co-occurrence view of a library: tag frequencies, edges,
+// and the concept clusters they form.
+type TagCloud struct {
+	Tags  []TagCount
+	Edges []CloudEdge
+	// Clusters are groups of tags connected by edges of weight >=
+	// MinSupport, largest first — the "two clusters of highly
+	// interconnected tags" structure Fig. 4 shows.
+	Clusters [][]string
+	// Bridges are tags whose removal would split their cluster (cut
+	// vertices) — the "bridged by the word navigation" insight of Fig. 4.
+	Bridges []string
+	// MinSupport is the edge-weight threshold used for clustering.
+	MinSupport int
+}
+
+// BuildCloud computes the tag cloud of the store. minSupport is the
+// minimum co-occurrence count for an edge to join the cluster graph
+// (default 1).
+func (s *Store) BuildCloud(minSupport int) *TagCloud {
+	if minSupport <= 0 {
+		minSupport = 1
+	}
+	cloud := &TagCloud{Tags: s.TagCounts(), MinSupport: minSupport}
+	pair := map[[2]string]int{}
+	for _, e := range s.entries {
+		tags := dedupe(append([]string(nil), e.Tags...))
+		for i := 0; i < len(tags); i++ {
+			for j := i + 1; j < len(tags); j++ {
+				pair[[2]string{tags[i], tags[j]}]++
+			}
+		}
+	}
+	for k, w := range pair {
+		cloud.Edges = append(cloud.Edges, CloudEdge{A: k[0], B: k[1], Weight: w})
+	}
+	sort.Slice(cloud.Edges, func(i, j int) bool {
+		if cloud.Edges[i].Weight != cloud.Edges[j].Weight {
+			return cloud.Edges[i].Weight > cloud.Edges[j].Weight
+		}
+		if cloud.Edges[i].A != cloud.Edges[j].A {
+			return cloud.Edges[i].A < cloud.Edges[j].A
+		}
+		return cloud.Edges[i].B < cloud.Edges[j].B
+	})
+
+	// Cluster graph: adjacency over edges meeting the support threshold.
+	adj := map[string][]string{}
+	for _, e := range cloud.Edges {
+		if e.Weight >= minSupport {
+			adj[e.A] = append(adj[e.A], e.B)
+			adj[e.B] = append(adj[e.B], e.A)
+		}
+	}
+	// Connected components.
+	seen := map[string]bool{}
+	var nodes []string
+	for n := range adj {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+	for _, start := range nodes {
+		if seen[start] {
+			continue
+		}
+		var comp []string
+		stack := []string{start}
+		seen[start] = true
+		for len(stack) > 0 {
+			cur := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			comp = append(comp, cur)
+			for _, nb := range adj[cur] {
+				if !seen[nb] {
+					seen[nb] = true
+					stack = append(stack, nb)
+				}
+			}
+		}
+		sort.Strings(comp)
+		cloud.Clusters = append(cloud.Clusters, comp)
+	}
+	sort.Slice(cloud.Clusters, func(i, j int) bool {
+		if len(cloud.Clusters[i]) != len(cloud.Clusters[j]) {
+			return len(cloud.Clusters[i]) > len(cloud.Clusters[j])
+		}
+		return cloud.Clusters[i][0] < cloud.Clusters[j][0]
+	})
+
+	cloud.Bridges = cutVertices(adj)
+	sort.Strings(cloud.Bridges)
+	return cloud
+}
+
+// cutVertices finds articulation points of the tag graph with the
+// iterative Tarjan lowlink algorithm.
+func cutVertices(adj map[string][]string) []string {
+	index := map[string]int{}
+	low := map[string]int{}
+	parent := map[string]string{}
+	var out []string
+	isCut := map[string]bool{}
+
+	var nodes []string
+	for n := range adj {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+
+	counter := 0
+	var dfs func(root string)
+	dfs = func(root string) {
+		type frame struct {
+			node string
+			next int
+		}
+		stack := []frame{{node: root}}
+		index[root] = counter
+		low[root] = counter
+		counter++
+		rootChildren := 0
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			node := f.node
+			if f.next < len(adj[node]) {
+				nb := adj[node][f.next]
+				f.next++
+				if _, visited := index[nb]; !visited {
+					parent[nb] = node
+					if node == root {
+						rootChildren++
+					}
+					index[nb] = counter
+					low[nb] = counter
+					counter++
+					stack = append(stack, frame{node: nb})
+				} else if nb != parent[node] && index[nb] < low[node] {
+					low[node] = index[nb]
+				}
+				continue
+			}
+			stack = stack[:len(stack)-1]
+			if p, ok := parent[node]; ok {
+				if low[node] < low[p] {
+					low[p] = low[node]
+				}
+				if p != root && low[node] >= index[p] {
+					isCut[p] = true
+				}
+			}
+		}
+		if rootChildren > 1 {
+			isCut[root] = true
+		}
+	}
+	for _, n := range nodes {
+		if _, visited := index[n]; !visited {
+			dfs(n)
+		}
+	}
+	for n, cut := range isCut {
+		if cut {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Render draws the cloud as text: tags in five size buckets (larger font =
+// UPPER CASE + markers, as a terminal stand-in for font size), followed by
+// the strongest edges and the detected clusters.
+func (c *TagCloud) Render(maxTags int) string {
+	if maxTags <= 0 || maxTags > len(c.Tags) {
+		maxTags = len(c.Tags)
+	}
+	var b strings.Builder
+	b.WriteString("─── tag cloud ───\n")
+	shown := c.Tags[:maxTags]
+	maxCount := 1
+	for _, tc := range shown {
+		if tc.Count > maxCount {
+			maxCount = tc.Count
+		}
+	}
+	// Alphabetical ordering "arranged in alphabetical order" like the
+	// suggestion cloud of Fig. 3.
+	byName := append([]TagCount(nil), shown...)
+	sort.Slice(byName, func(i, j int) bool { return byName[i].Tag < byName[j].Tag })
+	for i, tc := range byName {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(renderTag(tc, maxCount))
+	}
+	b.WriteString("\n\n")
+	if len(c.Edges) > 0 {
+		b.WriteString("strongest co-occurrences:\n")
+		n := len(c.Edges)
+		if n > 10 {
+			n = 10
+		}
+		for _, e := range c.Edges[:n] {
+			fmt.Fprintf(&b, "  %s ── %s (%d)\n", e.A, e.B, e.Weight)
+		}
+	}
+	if len(c.Clusters) > 0 {
+		fmt.Fprintf(&b, "concept clusters (support >= %d):\n", c.MinSupport)
+		for i, cl := range c.Clusters {
+			fmt.Fprintf(&b, "  #%d: %s\n", i+1, strings.Join(cl, ", "))
+		}
+	}
+	if len(c.Bridges) > 0 {
+		fmt.Fprintf(&b, "bridging tags: %s\n", strings.Join(c.Bridges, ", "))
+	}
+	return b.String()
+}
+
+// capitalize upper-cases the first byte of an ASCII tag.
+func capitalize(s string) string {
+	if s == "" {
+		return s
+	}
+	if s[0] >= 'a' && s[0] <= 'z' {
+		return string(s[0]-'a'+'A') + s[1:]
+	}
+	return s
+}
+
+// renderTag scales a tag's visual weight into one of five text styles.
+func renderTag(tc TagCount, maxCount int) string {
+	ratio := float64(tc.Count) / float64(maxCount)
+	switch {
+	case ratio >= 0.8:
+		return "◈" + strings.ToUpper(tc.Tag) + "◈"
+	case ratio >= 0.6:
+		return strings.ToUpper(tc.Tag)
+	case ratio >= 0.4:
+		return capitalize(tc.Tag)
+	case ratio >= 0.2:
+		return tc.Tag
+	default:
+		return "·" + tc.Tag
+	}
+}

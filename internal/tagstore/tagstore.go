@@ -1,0 +1,275 @@
+// Package tagstore implements the document library of P2PDocTagger's UI
+// (Fig. 3/4): persistent tag metadata for files, tag-based search and
+// filtering, and the tag cloud with co-occurrence edges and concept
+// clusters. Tags are persisted in a JSON sidecar index — the portable
+// substitute for the OS extended attributes the paper mentions.
+package tagstore
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Entry is the stored metadata of one document.
+type Entry struct {
+	// Path identifies the document (absolute file path, or any unique id
+	// for non-file documents).
+	Path string `json:"path"`
+	// Tags are the assigned tags, sorted.
+	Tags []string `json:"tags"`
+	// Auto marks tags assigned by the auto-tagger (vs manually); used by
+	// the refinement UI to show provenance.
+	Auto map[string]bool `json:"auto,omitempty"`
+	// Updated is the last modification time.
+	Updated time.Time `json:"updated"`
+}
+
+// Store is an in-memory tag index with JSON persistence. It is not safe
+// for concurrent use; the CLI serializes access.
+type Store struct {
+	path    string
+	entries map[string]*Entry
+	now     func() time.Time
+}
+
+// ErrNotFound is returned when a document has no entry.
+var ErrNotFound = errors.New("tagstore: document not found")
+
+// Open loads a store from path, creating an empty one when the file does
+// not exist yet.
+func Open(path string) (*Store, error) {
+	s := &Store{path: path, entries: make(map[string]*Entry), now: time.Now}
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return s, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("tagstore: open: %w", err)
+	}
+	var list []*Entry
+	if err := json.Unmarshal(data, &list); err != nil {
+		return nil, fmt.Errorf("tagstore: parse %s: %w", path, err)
+	}
+	for _, e := range list {
+		s.entries[e.Path] = e
+	}
+	return s, nil
+}
+
+// NewMemory returns an unpersisted store (Save is a no-op without a path).
+func NewMemory() *Store {
+	return &Store{entries: make(map[string]*Entry), now: time.Now}
+}
+
+// Save writes the store to its backing file atomically (write temp +
+// rename).
+func (s *Store) Save() error {
+	if s.path == "" {
+		return nil
+	}
+	list := make([]*Entry, 0, len(s.entries))
+	for _, e := range s.entries {
+		list = append(list, e)
+	}
+	sort.Slice(list, func(i, j int) bool { return list[i].Path < list[j].Path })
+	data, err := json.MarshalIndent(list, "", "  ")
+	if err != nil {
+		return fmt.Errorf("tagstore: marshal: %w", err)
+	}
+	dir := filepath.Dir(s.path)
+	tmp, err := os.CreateTemp(dir, ".tagstore-*")
+	if err != nil {
+		return fmt.Errorf("tagstore: save: %w", err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("tagstore: save: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("tagstore: save: %w", err)
+	}
+	if err := os.Rename(tmpName, s.path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("tagstore: save: %w", err)
+	}
+	return nil
+}
+
+// normalizeTag lower-cases and trims a tag; empty results are rejected by
+// callers.
+func normalizeTag(t string) string { return strings.ToLower(strings.TrimSpace(t)) }
+
+// SetTags replaces a document's tags. Auto marks all of them as
+// auto-assigned when true.
+func (s *Store) SetTags(path string, tags []string, auto bool) {
+	e := &Entry{Path: path, Updated: s.now(), Auto: map[string]bool{}}
+	for _, t := range tags {
+		if nt := normalizeTag(t); nt != "" {
+			e.Tags = append(e.Tags, nt)
+			if auto {
+				e.Auto[nt] = true
+			}
+		}
+	}
+	e.Tags = dedupe(e.Tags)
+	s.entries[path] = e
+}
+
+// AddTags merges tags into a document's entry.
+func (s *Store) AddTags(path string, tags []string, auto bool) {
+	e, ok := s.entries[path]
+	if !ok {
+		s.SetTags(path, tags, auto)
+		return
+	}
+	existing := map[string]bool{}
+	for _, t := range e.Tags {
+		existing[t] = true
+	}
+	for _, t := range tags {
+		nt := normalizeTag(t)
+		if nt == "" {
+			continue
+		}
+		e.Tags = append(e.Tags, nt)
+		// Auto provenance only applies to newly introduced tags: re-adding
+		// a manually assigned tag must not demote it to auto.
+		if auto && !existing[nt] {
+			e.Auto[nt] = true
+		}
+	}
+	e.Tags = dedupe(e.Tags)
+	e.Updated = s.now()
+}
+
+// RemoveTag deletes one tag from a document (the refinement action of
+// Fig. 3); removing the last tag keeps an empty entry so the document
+// stays in the library.
+func (s *Store) RemoveTag(path, tag string) error {
+	e, ok := s.entries[path]
+	if !ok {
+		return ErrNotFound
+	}
+	nt := normalizeTag(tag)
+	out := e.Tags[:0]
+	for _, t := range e.Tags {
+		if t != nt {
+			out = append(out, t)
+		}
+	}
+	e.Tags = out
+	delete(e.Auto, nt)
+	e.Updated = s.now()
+	return nil
+}
+
+// Get returns a document's entry.
+func (s *Store) Get(path string) (*Entry, error) {
+	e, ok := s.entries[path]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return e, nil
+}
+
+// Delete removes a document from the library entirely.
+func (s *Store) Delete(path string) { delete(s.entries, path) }
+
+// Len reports the number of documents in the library.
+func (s *Store) Len() int { return len(s.entries) }
+
+// All returns every entry sorted by path.
+func (s *Store) All() []*Entry {
+	out := make([]*Entry, 0, len(s.entries))
+	for _, e := range s.entries {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out
+}
+
+// Search returns entries matching the query: every "tag" term must be
+// present (AND semantics); terms prefixed with "-" must be absent. An
+// empty query matches everything.
+func (s *Store) Search(query []string) []*Entry {
+	var must, mustNot []string
+	for _, q := range query {
+		if strings.HasPrefix(q, "-") {
+			mustNot = append(mustNot, normalizeTag(q[1:]))
+		} else {
+			must = append(must, normalizeTag(q))
+		}
+	}
+	var out []*Entry
+	for _, e := range s.All() {
+		tagSet := map[string]bool{}
+		for _, t := range e.Tags {
+			tagSet[t] = true
+		}
+		match := true
+		for _, m := range must {
+			if !tagSet[m] {
+				match = false
+				break
+			}
+		}
+		for _, m := range mustNot {
+			if tagSet[m] {
+				match = false
+				break
+			}
+		}
+		if match {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// TagCounts returns every tag with its document count, most frequent
+// first (ties by name).
+func (s *Store) TagCounts() []TagCount {
+	counts := map[string]int{}
+	for _, e := range s.entries {
+		for _, t := range e.Tags {
+			counts[t]++
+		}
+	}
+	out := make([]TagCount, 0, len(counts))
+	for t, c := range counts {
+		out = append(out, TagCount{Tag: t, Count: c})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Tag < out[j].Tag
+	})
+	return out
+}
+
+// TagCount pairs a tag with its library frequency.
+type TagCount struct {
+	Tag   string
+	Count int
+}
+
+func dedupe(tags []string) []string {
+	sort.Strings(tags)
+	out := tags[:0]
+	for i, t := range tags {
+		if i == 0 || t != tags[i-1] {
+			out = append(out, t)
+		}
+	}
+	return out
+}

@@ -1,0 +1,211 @@
+package tagstore
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestSetGetAddRemove(t *testing.T) {
+	s := NewMemory()
+	s.SetTags("/a.txt", []string{"Music", "  travel "}, false)
+	e, err := s.Get("/a.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(e.Tags) != 2 || e.Tags[0] != "music" || e.Tags[1] != "travel" {
+		t.Errorf("tags = %v (want normalized, sorted)", e.Tags)
+	}
+	s.AddTags("/a.txt", []string{"music", "food"}, true)
+	e, _ = s.Get("/a.txt")
+	if len(e.Tags) != 3 {
+		t.Errorf("after add: %v", e.Tags)
+	}
+	if !e.Auto["food"] || e.Auto["music"] {
+		t.Errorf("auto provenance wrong: %v", e.Auto)
+	}
+	if err := s.RemoveTag("/a.txt", "travel"); err != nil {
+		t.Fatal(err)
+	}
+	e, _ = s.Get("/a.txt")
+	for _, tag := range e.Tags {
+		if tag == "travel" {
+			t.Error("travel not removed")
+		}
+	}
+	if err := s.RemoveTag("/missing", "x"); err != ErrNotFound {
+		t.Errorf("RemoveTag missing = %v", err)
+	}
+	if _, err := s.Get("/missing"); err != ErrNotFound {
+		t.Errorf("Get missing = %v", err)
+	}
+	s.Delete("/a.txt")
+	if s.Len() != 0 {
+		t.Error("delete failed")
+	}
+}
+
+func TestSaveAndReload(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "tags.json")
+	s, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetTags("/doc1", []string{"alpha", "beta"}, false)
+	s.SetTags("/doc2", []string{"beta"}, true)
+	if err := s.Save(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Len() != 2 {
+		t.Fatalf("reloaded %d entries", re.Len())
+	}
+	e, err := re.Get("/doc2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !e.Auto["beta"] {
+		t.Error("auto flag lost on reload")
+	}
+}
+
+func TestOpenCorruptFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path); err == nil {
+		t.Error("corrupt file accepted")
+	}
+}
+
+func TestMemorySaveNoop(t *testing.T) {
+	s := NewMemory()
+	s.SetTags("/x", []string{"a"}, false)
+	if err := s.Save(); err != nil {
+		t.Errorf("memory save = %v", err)
+	}
+}
+
+func TestSearch(t *testing.T) {
+	s := NewMemory()
+	s.SetTags("/1", []string{"go", "databases"}, false)
+	s.SetTags("/2", []string{"go", "web"}, false)
+	s.SetTags("/3", []string{"rust", "databases"}, false)
+	if got := s.Search([]string{"go"}); len(got) != 2 {
+		t.Errorf("search go = %d results", len(got))
+	}
+	if got := s.Search([]string{"go", "databases"}); len(got) != 1 || got[0].Path != "/1" {
+		t.Errorf("AND search = %v", got)
+	}
+	if got := s.Search([]string{"databases", "-go"}); len(got) != 1 || got[0].Path != "/3" {
+		t.Errorf("negation search = %v", got)
+	}
+	if got := s.Search(nil); len(got) != 3 {
+		t.Errorf("empty query = %d results", len(got))
+	}
+	if got := s.Search([]string{"missing"}); len(got) != 0 {
+		t.Errorf("no-match = %v", got)
+	}
+}
+
+func TestTagCounts(t *testing.T) {
+	s := NewMemory()
+	s.SetTags("/1", []string{"a", "b"}, false)
+	s.SetTags("/2", []string{"a"}, false)
+	counts := s.TagCounts()
+	if len(counts) != 2 || counts[0].Tag != "a" || counts[0].Count != 2 {
+		t.Errorf("counts = %v", counts)
+	}
+}
+
+func TestBuildCloudEdgesAndClusters(t *testing.T) {
+	s := NewMemory()
+	// Two clusters: {code,go,test} and {photo,travel}, bridged by "blog".
+	s.SetTags("/1", []string{"code", "go"}, false)
+	s.SetTags("/2", []string{"go", "test"}, false)
+	s.SetTags("/3", []string{"code", "test"}, false)
+	s.SetTags("/4", []string{"photo", "travel"}, false)
+	s.SetTags("/5", []string{"travel", "photo"}, false)
+	s.SetTags("/6", []string{"go", "blog"}, false)
+	s.SetTags("/7", []string{"blog", "photo"}, false)
+	cloud := s.BuildCloud(1)
+	if len(cloud.Clusters) != 1 {
+		t.Fatalf("clusters = %v (bridge should connect everything)", cloud.Clusters)
+	}
+	// "blog" is the articulation point between the two concept groups.
+	foundBridge := false
+	for _, bridge := range cloud.Bridges {
+		if bridge == "blog" {
+			foundBridge = true
+		}
+	}
+	if !foundBridge {
+		t.Errorf("bridges = %v, want blog", cloud.Bridges)
+	}
+	// Edge weights: photo-travel co-occurs twice.
+	top := cloud.Edges[0]
+	if top.A != "photo" || top.B != "travel" || top.Weight != 2 {
+		t.Errorf("top edge = %+v", top)
+	}
+}
+
+func TestBuildCloudMinSupportSplitsClusters(t *testing.T) {
+	s := NewMemory()
+	s.SetTags("/1", []string{"a", "b"}, false)
+	s.SetTags("/2", []string{"a", "b"}, false)
+	s.SetTags("/3", []string{"c", "d"}, false)
+	s.SetTags("/4", []string{"c", "d"}, false)
+	s.SetTags("/5", []string{"b", "c"}, false) // weak link
+	cloud := s.BuildCloud(2)
+	if len(cloud.Clusters) != 2 {
+		t.Errorf("clusters at support 2 = %v", cloud.Clusters)
+	}
+}
+
+func TestRender(t *testing.T) {
+	s := NewMemory()
+	for i := 0; i < 10; i++ {
+		s.SetTags(filepath.Join("/docs", string(rune('a'+i))), []string{"popular", "rare" + string(rune('a'+i))}, false)
+	}
+	out := s.BuildCloud(1).Render(0)
+	if !strings.Contains(out, "POPULAR") {
+		t.Errorf("popular tag not emphasized:\n%s", out)
+	}
+	if !strings.Contains(out, "tag cloud") {
+		t.Error("missing header")
+	}
+	// Limited rendering.
+	short := s.BuildCloud(1).Render(3)
+	if len(short) >= len(out) {
+		t.Error("maxTags did not shrink output")
+	}
+}
+
+func TestCutVerticesSimplePath(t *testing.T) {
+	// a - b - c: b is the only cut vertex.
+	adj := map[string][]string{
+		"a": {"b"},
+		"b": {"a", "c"},
+		"c": {"b"},
+	}
+	cuts := cutVertices(adj)
+	if len(cuts) != 1 || cuts[0] != "b" {
+		t.Errorf("cuts = %v", cuts)
+	}
+	// Triangle: no cut vertices.
+	tri := map[string][]string{
+		"a": {"b", "c"},
+		"b": {"a", "c"},
+		"c": {"a", "b"},
+	}
+	if cuts := cutVertices(tri); len(cuts) != 0 {
+		t.Errorf("triangle cuts = %v", cuts)
+	}
+}

@@ -1,0 +1,316 @@
+// Package textproc implements the document preprocessing stage of
+// P2PDocTagger (§2 of the paper): tokenization, stop-word and sensitive-word
+// filtering, Porter stemming, a shared lexicon mapping words to feature ids,
+// and vectorization of documents into sparse term-frequency vectors.
+package textproc
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"unicode"
+
+	"repro/internal/vector"
+)
+
+// Tokenize splits raw text into lower-case word tokens. Tokens are maximal
+// runs of letters or digits containing at least one letter; pure numbers are
+// dropped since they carry little recognition value for tagging.
+func Tokenize(text string) []string {
+	var tokens []string
+	var cur strings.Builder
+	hasLetter := false
+	flush := func() {
+		if cur.Len() > 0 {
+			if hasLetter {
+				tokens = append(tokens, cur.String())
+			}
+			cur.Reset()
+			hasLetter = false
+		}
+	}
+	for _, r := range text {
+		switch {
+		case unicode.IsLetter(r):
+			cur.WriteRune(unicode.ToLower(r))
+			hasLetter = true
+		case unicode.IsDigit(r):
+			cur.WriteRune(r)
+		case r == '\'':
+			// Keep apostrophes inside words so stop words like "don't" match.
+			if cur.Len() > 0 {
+				cur.WriteRune(r)
+			}
+		default:
+			flush()
+		}
+	}
+	flush()
+	return tokens
+}
+
+// Lexicon maps normalized words to stable int32 feature ids. It is safe for
+// concurrent use: tagging peers in the live CLI share one lexicon.
+type Lexicon struct {
+	mu    sync.RWMutex
+	ids   map[string]int32
+	words []string
+}
+
+// NewLexicon returns an empty lexicon.
+func NewLexicon() *Lexicon {
+	return &Lexicon{ids: make(map[string]int32)}
+}
+
+// ID returns the feature id for word, assigning a new id when the word is
+// unseen.
+func (l *Lexicon) ID(word string) int32 {
+	l.mu.RLock()
+	id, ok := l.ids[word]
+	l.mu.RUnlock()
+	if ok {
+		return id
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if id, ok = l.ids[word]; ok {
+		return id
+	}
+	id = int32(len(l.words))
+	l.ids[word] = id
+	l.words = append(l.words, word)
+	return id
+}
+
+// Lookup returns the id of word without assigning a new one.
+func (l *Lexicon) Lookup(word string) (int32, bool) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	id, ok := l.ids[word]
+	return id, ok
+}
+
+// Word returns the word for feature id, or "" when the id is unknown.
+func (l *Lexicon) Word(id int32) string {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	if id < 0 || int(id) >= len(l.words) {
+		return ""
+	}
+	return l.words[id]
+}
+
+// Size returns the number of distinct words in the lexicon.
+func (l *Lexicon) Size() int {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return len(l.words)
+}
+
+// Weighting selects how term weights are computed during vectorization.
+type Weighting int
+
+const (
+	// TermFrequency stores raw within-document term counts, the
+	// representation described in the paper ("the value of the attributes
+	// represents the word frequency in the documents").
+	TermFrequency Weighting = iota
+	// LogTF stores 1+log(tf), damping very frequent terms.
+	LogTF
+	// TFIDF multiplies term frequency by the inverse document frequency
+	// accumulated from all documents previously processed by this
+	// preprocessor.
+	TFIDF
+)
+
+func (w Weighting) String() string {
+	switch w {
+	case TermFrequency:
+		return "tf"
+	case LogTF:
+		return "logtf"
+	case TFIDF:
+		return "tfidf"
+	default:
+		return fmt.Sprintf("Weighting(%d)", int(w))
+	}
+}
+
+// Options configures a Preprocessor.
+type Options struct {
+	// Weighting selects the term-weight scheme; default TermFrequency.
+	Weighting Weighting
+	// Normalize scales each document vector to unit L2 norm after
+	// weighting. Recommended (and default) for SVM training.
+	Normalize bool
+	// MinWordLen drops tokens shorter than this many bytes after stemming;
+	// default 2.
+	MinWordLen int
+	// KeepStopWords disables stop-word filtering (used in tests).
+	KeepStopWords bool
+	// HashDim, when positive, switches feature ids from lexicon-assigned
+	// sequential ids to word hashes modulo HashDim ("hashing trick").
+	// Hashed ids are stable across machines with no coordination, which
+	// is what lets independently running peers exchange models whose
+	// weight indices mean the same thing everywhere. The lexicon is
+	// bypassed, so TopTerms cannot resolve words in this mode.
+	HashDim int
+}
+
+// Preprocessor turns raw document text into sparse feature vectors using a
+// shared lexicon, per the pipeline of Fig. 1. It is safe for concurrent use.
+type Preprocessor struct {
+	opts      Options
+	lexicon   *Lexicon
+	mu        sync.RWMutex
+	stop      map[string]bool
+	sensitive map[string]bool
+	docCount  int
+	docFreq   map[int32]int
+}
+
+// NewPreprocessor returns a preprocessor sharing lexicon lex. A nil lexicon
+// allocates a fresh one.
+func NewPreprocessor(lex *Lexicon, opts Options) *Preprocessor {
+	if lex == nil {
+		lex = NewLexicon()
+	}
+	if opts.MinWordLen == 0 {
+		opts.MinWordLen = 2
+	}
+	return &Preprocessor{
+		opts:      opts,
+		lexicon:   lex,
+		stop:      DefaultStopWords(),
+		sensitive: make(map[string]bool),
+		docFreq:   make(map[int32]int),
+	}
+}
+
+// Lexicon returns the shared lexicon.
+func (p *Preprocessor) Lexicon() *Lexicon { return p.lexicon }
+
+// AddSensitiveWords registers user-specified words that must never appear in
+// feature vectors (the privacy filter of §2). Matching is performed on the
+// lower-cased raw token, before stemming.
+func (p *Preprocessor) AddSensitiveWords(words ...string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, w := range words {
+		p.sensitive[strings.ToLower(w)] = true
+	}
+}
+
+// Terms tokenizes, filters and stems text, returning the surviving terms in
+// document order.
+func (p *Preprocessor) Terms(text string) []string {
+	tokens := Tokenize(text)
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	out := tokens[:0]
+	for _, t := range tokens {
+		if !p.opts.KeepStopWords && p.stop[t] {
+			continue
+		}
+		if p.sensitive[t] {
+			continue
+		}
+		// Apostrophes served their purpose for stop-word matching; strip
+		// possessives before stemming.
+		t = strings.ReplaceAll(t, "'", "")
+		s := Stem(t)
+		if len(s) < p.opts.MinWordLen {
+			continue
+		}
+		if p.sensitive[s] {
+			continue
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// Vectorize converts text into a sparse feature vector, assigning new
+// lexicon ids as needed (or hashing, when HashDim is set) and updating
+// document-frequency statistics.
+func (p *Preprocessor) Vectorize(text string) *vector.Sparse {
+	terms := p.Terms(text)
+	counts := make(map[int32]float64, len(terms))
+	for _, t := range terms {
+		counts[p.featureID(t)]++
+	}
+
+	p.mu.Lock()
+	p.docCount++
+	for id := range counts {
+		p.docFreq[id]++
+	}
+	docCount, weighting := p.docCount, p.opts.Weighting
+	var idf map[int32]float64
+	if weighting == TFIDF {
+		idf = make(map[int32]float64, len(counts))
+		for id := range counts {
+			idf[id] = math.Log(float64(1+docCount) / float64(1+p.docFreq[id]))
+		}
+	}
+	p.mu.Unlock()
+
+	for id, tf := range counts {
+		switch weighting {
+		case LogTF:
+			counts[id] = 1 + math.Log(tf)
+		case TFIDF:
+			counts[id] = tf * idf[id]
+		}
+	}
+	v := vector.FromMap(counts)
+	if p.opts.Normalize {
+		v = v.Normalize()
+	}
+	return v
+}
+
+// featureID maps a term to its feature id: hashed when HashDim is set,
+// lexicon-assigned otherwise.
+func (p *Preprocessor) featureID(term string) int32 {
+	if p.opts.HashDim > 0 {
+		h := fnv.New32a()
+		h.Write([]byte(term))
+		return int32(h.Sum32() % uint32(p.opts.HashDim))
+	}
+	return p.lexicon.ID(term)
+}
+
+// VectorizeAll maps Vectorize over texts.
+func (p *Preprocessor) VectorizeAll(texts []string) []*vector.Sparse {
+	out := make([]*vector.Sparse, len(texts))
+	for i, t := range texts {
+		out[i] = p.Vectorize(t)
+	}
+	return out
+}
+
+// TopTerms returns the n highest-weighted terms of v, resolved through the
+// lexicon, in descending weight order. Useful for explaining predictions.
+func (p *Preprocessor) TopTerms(v *vector.Sparse, n int) []string {
+	entries := append([]vector.Entry(nil), v.Entries()...)
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].Value != entries[j].Value {
+			return entries[i].Value > entries[j].Value
+		}
+		return entries[i].Index < entries[j].Index
+	})
+	if n > len(entries) {
+		n = len(entries)
+	}
+	out := make([]string, 0, n)
+	for _, e := range entries[:n] {
+		if w := p.lexicon.Word(e.Index); w != "" {
+			out = append(out, w)
+		}
+	}
+	return out
+}

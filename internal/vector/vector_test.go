@@ -1,0 +1,291 @@
+package vector
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestNewSortsAndMerges(t *testing.T) {
+	v, err := New([]int32{5, 1, 5, 3}, []float64{2, 1, 3, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Entry{{1, 1}, {5, 5}}
+	got := v.Entries()
+	if len(got) != len(want) {
+		t.Fatalf("entries = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("entry %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestNewErrors(t *testing.T) {
+	if _, err := New([]int32{1}, []float64{1, 2}); err == nil {
+		t.Error("mismatched lengths: want error")
+	}
+	if _, err := New([]int32{-1}, []float64{1}); err == nil {
+		t.Error("negative index: want error")
+	}
+}
+
+func TestFromEntriesValidation(t *testing.T) {
+	if _, err := FromEntries([]Entry{{3, 1}, {1, 2}}); err == nil {
+		t.Error("unsorted entries: want error")
+	}
+	if _, err := FromEntries([]Entry{{2, 1}, {2, 2}}); err == nil {
+		t.Error("duplicate index: want error")
+	}
+	if _, err := FromEntries([]Entry{{-2, 1}}); err == nil {
+		t.Error("negative index: want error")
+	}
+	v, err := FromEntries([]Entry{{0, 1}, {7, -2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Len() != 2 {
+		t.Errorf("Len = %d, want 2", v.Len())
+	}
+}
+
+func TestAt(t *testing.T) {
+	v := FromMap(map[int32]float64{2: 1.5, 9: -3})
+	if got := v.At(2); got != 1.5 {
+		t.Errorf("At(2) = %v, want 1.5", got)
+	}
+	if got := v.At(3); got != 0 {
+		t.Errorf("At(3) = %v, want 0", got)
+	}
+	if got := v.At(9); got != -3 {
+		t.Errorf("At(9) = %v, want -3", got)
+	}
+}
+
+func TestDot(t *testing.T) {
+	a := FromMap(map[int32]float64{0: 1, 2: 2, 4: 3})
+	b := FromMap(map[int32]float64{2: 5, 3: 7, 4: -1})
+	if got := a.Dot(b); !almostEqual(got, 2*5+3*-1) {
+		t.Errorf("Dot = %v, want 7", got)
+	}
+	if got := a.Dot(Zero()); got != 0 {
+		t.Errorf("Dot with zero = %v, want 0", got)
+	}
+}
+
+func TestDotDenseAndAddDense(t *testing.T) {
+	a := FromMap(map[int32]float64{1: 2, 3: 4})
+	w := []float64{0, 10, 0, 100}
+	if got := a.DotDense(w); !almostEqual(got, 2*10+4*100) {
+		t.Errorf("DotDense = %v, want 420", got)
+	}
+	// Indices beyond the dense slice are treated as zero weight.
+	short := []float64{0, 10}
+	if got := a.DotDense(short); !almostEqual(got, 20) {
+		t.Errorf("DotDense short = %v, want 20", got)
+	}
+	buf := make([]float64, 4)
+	a.AddDense(buf, 0.5)
+	if buf[1] != 1 || buf[3] != 2 {
+		t.Errorf("AddDense result = %v", buf)
+	}
+}
+
+func TestAxpyAddSub(t *testing.T) {
+	a := FromMap(map[int32]float64{0: 1, 2: 2})
+	b := FromMap(map[int32]float64{2: 2, 5: 3})
+	sum := a.Add(b)
+	if got := sum.At(2); got != 4 {
+		t.Errorf("Add At(2) = %v, want 4", got)
+	}
+	diff := a.Sub(b)
+	if got := diff.At(2); got != 0 {
+		t.Errorf("Sub At(2) = %v, want 0 (cancel)", got)
+	}
+	if diff.At(5) != -3 || diff.At(0) != 1 {
+		t.Errorf("Sub = %v", diff)
+	}
+	// Exact cancellation must not leave explicit zeros.
+	for _, e := range diff.Entries() {
+		if e.Value == 0 {
+			t.Errorf("explicit zero entry at %d", e.Index)
+		}
+	}
+}
+
+func TestNormalizeAndCosine(t *testing.T) {
+	a := FromMap(map[int32]float64{0: 3, 1: 4})
+	n := a.Normalize()
+	if !almostEqual(n.Norm(), 1) {
+		t.Errorf("normalized norm = %v", n.Norm())
+	}
+	if !almostEqual(a.Cosine(a), 1) {
+		t.Errorf("self cosine = %v, want 1", a.Cosine(a))
+	}
+	orth := FromMap(map[int32]float64{2: 1})
+	if got := a.Cosine(orth); got != 0 {
+		t.Errorf("orthogonal cosine = %v, want 0", got)
+	}
+	if got := Zero().Cosine(a); got != 0 {
+		t.Errorf("zero cosine = %v, want 0", got)
+	}
+}
+
+func TestEuclideanDistance(t *testing.T) {
+	a := FromMap(map[int32]float64{0: 1})
+	b := FromMap(map[int32]float64{1: 1})
+	if got := a.EuclideanDistance(b); !almostEqual(got, math.Sqrt2) {
+		t.Errorf("distance = %v, want sqrt(2)", got)
+	}
+	if got := a.EuclideanDistance(a); got != 0 {
+		t.Errorf("self distance = %v, want 0", got)
+	}
+}
+
+func TestMean(t *testing.T) {
+	a := FromMap(map[int32]float64{0: 2})
+	b := FromMap(map[int32]float64{0: 4, 1: 2})
+	m := Mean([]*Sparse{a, b})
+	if !almostEqual(m.At(0), 3) || !almostEqual(m.At(1), 1) {
+		t.Errorf("mean = %v", m)
+	}
+	if Mean(nil).Len() != 0 {
+		t.Error("mean of empty set should be zero vector")
+	}
+}
+
+func TestScale(t *testing.T) {
+	a := FromMap(map[int32]float64{0: 2, 3: -1})
+	if got := a.Scale(0); got.Len() != 0 {
+		t.Errorf("scale by 0 = %v, want empty", got)
+	}
+	s := a.Scale(-2)
+	if s.At(0) != -4 || s.At(3) != 2 {
+		t.Errorf("scale = %v", s)
+	}
+	// Original untouched.
+	if a.At(0) != 2 {
+		t.Error("Scale mutated receiver")
+	}
+}
+
+func TestWireSize(t *testing.T) {
+	a := FromMap(map[int32]float64{0: 1, 1: 1, 2: 1})
+	if got := a.WireSize(); got != 4+36 {
+		t.Errorf("WireSize = %d, want 40", got)
+	}
+}
+
+func TestStringAndEqualAndClone(t *testing.T) {
+	a := FromMap(map[int32]float64{1: 2})
+	if a.String() != "{1:2}" {
+		t.Errorf("String = %q", a.String())
+	}
+	c := a.Clone()
+	if !a.Equal(c) {
+		t.Error("clone not equal")
+	}
+	c.entries[0].Value = 9
+	if a.Equal(c) {
+		t.Error("clone aliases original storage")
+	}
+	if a.Equal(Zero()) {
+		t.Error("non-empty equals empty")
+	}
+}
+
+func TestMaxIndex(t *testing.T) {
+	if Zero().MaxIndex() != -1 {
+		t.Error("empty MaxIndex should be -1")
+	}
+	a := FromMap(map[int32]float64{3: 1, 17: 2})
+	if a.MaxIndex() != 17 {
+		t.Errorf("MaxIndex = %d", a.MaxIndex())
+	}
+}
+
+// randSparse builds a random sparse vector for property tests.
+func randSparse(r *rand.Rand) *Sparse {
+	n := r.Intn(20)
+	m := make(map[int32]float64, n)
+	for i := 0; i < n; i++ {
+		m[int32(r.Intn(50))] = r.NormFloat64()
+	}
+	return FromMap(m)
+}
+
+func TestPropertyDotSymmetry(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed ^ r.Int63()))
+		a, b := randSparse(rr), randSparse(rr)
+		return almostEqual(a.Dot(b), b.Dot(a))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyAxpyLinearity(t *testing.T) {
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		a, b, c := randSparse(rr), randSparse(rr), randSparse(rr)
+		alpha := rr.NormFloat64()
+		// <a+alpha*b, c> == <a,c> + alpha*<b,c>
+		lhs := a.Axpy(alpha, b).Dot(c)
+		rhs := a.Dot(c) + alpha*b.Dot(c)
+		return math.Abs(lhs-rhs) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyTriangleInequality(t *testing.T) {
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		a, b, c := randSparse(rr), randSparse(rr), randSparse(rr)
+		return a.EuclideanDistance(c) <= a.EuclideanDistance(b)+b.EuclideanDistance(c)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyEntriesSortedInvariant(t *testing.T) {
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		a, b := randSparse(rr), randSparse(rr)
+		for _, v := range []*Sparse{a.Add(b), a.Sub(b), a.Scale(2), a.Normalize()} {
+			es := v.Entries()
+			for i := 1; i < len(es); i++ {
+				if es[i].Index <= es[i-1].Index {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkDot(b *testing.B) {
+	rr := rand.New(rand.NewSource(42))
+	m1, m2 := map[int32]float64{}, map[int32]float64{}
+	for i := 0; i < 500; i++ {
+		m1[int32(rr.Intn(10000))] = rr.NormFloat64()
+		m2[int32(rr.Intn(10000))] = rr.NormFloat64()
+	}
+	v1, v2 := FromMap(m1), FromMap(m2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v1.Dot(v2)
+	}
+}

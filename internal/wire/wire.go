@@ -1,0 +1,251 @@
+// Package wire provides the binary serialization of the objects peers
+// exchange — sparse vectors, linear models and kernel-SVM model sets. The
+// simulator charges message sizes from analytic WireSize estimates; this
+// package is the deployable encoding those estimates model, and its tests
+// pin the two within tolerance so the cost accounting stays honest.
+//
+// Format: little-endian, length-prefixed. Vectors encode as
+// [n uint32] then n × ([index uint32][value float64]); strings as
+// [len uint16][bytes]. No reflection, no allocation surprises.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/svm"
+	"repro/internal/vector"
+)
+
+// ErrCorrupt is wrapped by all decode errors caused by malformed input.
+var ErrCorrupt = fmt.Errorf("wire: corrupt input")
+
+// WriteVector encodes v.
+func WriteVector(w io.Writer, v *vector.Sparse) error {
+	entries := v.Entries()
+	if err := binary.Write(w, binary.LittleEndian, uint32(len(entries))); err != nil {
+		return err
+	}
+	for _, e := range entries {
+		if err := binary.Write(w, binary.LittleEndian, uint32(e.Index)); err != nil {
+			return err
+		}
+		if err := binary.Write(w, binary.LittleEndian, math.Float64bits(e.Value)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadVector decodes a vector written by WriteVector. maxEntries bounds
+// allocation against corrupt length prefixes (0 = 1<<20).
+func ReadVector(r io.Reader, maxEntries int) (*vector.Sparse, error) {
+	if maxEntries <= 0 {
+		maxEntries = 1 << 20
+	}
+	var n uint32
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return nil, fmt.Errorf("%w: vector length: %v", ErrCorrupt, err)
+	}
+	if int(n) > maxEntries {
+		return nil, fmt.Errorf("%w: vector claims %d entries (max %d)", ErrCorrupt, n, maxEntries)
+	}
+	entries := make([]vector.Entry, n)
+	for i := range entries {
+		var idx uint32
+		var bits uint64
+		if err := binary.Read(r, binary.LittleEndian, &idx); err != nil {
+			return nil, fmt.Errorf("%w: entry %d index: %v", ErrCorrupt, i, err)
+		}
+		if err := binary.Read(r, binary.LittleEndian, &bits); err != nil {
+			return nil, fmt.Errorf("%w: entry %d value: %v", ErrCorrupt, i, err)
+		}
+		entries[i] = vector.Entry{Index: int32(idx), Value: math.Float64frombits(bits)}
+	}
+	v, err := vector.FromEntries(entries)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	return v, nil
+}
+
+func writeString(w io.Writer, s string) error {
+	if len(s) > math.MaxUint16 {
+		return fmt.Errorf("wire: string too long (%d)", len(s))
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint16(len(s))); err != nil {
+		return err
+	}
+	_, err := w.Write([]byte(s))
+	return err
+}
+
+func readString(r io.Reader) (string, error) {
+	var n uint16
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return "", fmt.Errorf("%w: string length: %v", ErrCorrupt, err)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", fmt.Errorf("%w: string body: %v", ErrCorrupt, err)
+	}
+	return string(buf), nil
+}
+
+// WriteLinearModel encodes m sparsely (only non-zero weights).
+func WriteLinearModel(w io.Writer, m *svm.LinearModel) error {
+	if err := binary.Write(w, binary.LittleEndian, math.Float64bits(m.Bias)); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint32(len(m.W))); err != nil {
+		return err
+	}
+	nnz := uint32(0)
+	for _, x := range m.W {
+		if x != 0 {
+			nnz++
+		}
+	}
+	if err := binary.Write(w, binary.LittleEndian, nnz); err != nil {
+		return err
+	}
+	for i, x := range m.W {
+		if x == 0 {
+			continue
+		}
+		if err := binary.Write(w, binary.LittleEndian, uint32(i)); err != nil {
+			return err
+		}
+		if err := binary.Write(w, binary.LittleEndian, math.Float64bits(x)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadLinearModel decodes a model written by WriteLinearModel.
+func ReadLinearModel(r io.Reader) (*svm.LinearModel, error) {
+	var bias uint64
+	if err := binary.Read(r, binary.LittleEndian, &bias); err != nil {
+		return nil, fmt.Errorf("%w: bias: %v", ErrCorrupt, err)
+	}
+	var dim, nnz uint32
+	if err := binary.Read(r, binary.LittleEndian, &dim); err != nil {
+		return nil, fmt.Errorf("%w: dim: %v", ErrCorrupt, err)
+	}
+	if err := binary.Read(r, binary.LittleEndian, &nnz); err != nil {
+		return nil, fmt.Errorf("%w: nnz: %v", ErrCorrupt, err)
+	}
+	const maxDim = 1 << 26
+	if dim > maxDim || nnz > dim {
+		return nil, fmt.Errorf("%w: dim=%d nnz=%d", ErrCorrupt, dim, nnz)
+	}
+	m := &svm.LinearModel{W: make([]float64, dim), Bias: math.Float64frombits(bias)}
+	for i := uint32(0); i < nnz; i++ {
+		var idx uint32
+		var bits uint64
+		if err := binary.Read(r, binary.LittleEndian, &idx); err != nil {
+			return nil, fmt.Errorf("%w: weight %d: %v", ErrCorrupt, i, err)
+		}
+		if err := binary.Read(r, binary.LittleEndian, &bits); err != nil {
+			return nil, fmt.Errorf("%w: weight %d: %v", ErrCorrupt, i, err)
+		}
+		if idx >= dim {
+			return nil, fmt.Errorf("%w: weight index %d >= dim %d", ErrCorrupt, idx, dim)
+		}
+		m.W[idx] = math.Float64frombits(bits)
+	}
+	return m, nil
+}
+
+// WriteKernelModel encodes a kernel model: parameters, bias and support
+// vectors with coefficients.
+func WriteKernelModel(w io.Writer, m *svm.KernelModel) error {
+	hdr := []uint64{
+		uint64(m.Kernel.Kind),
+		math.Float64bits(m.Kernel.Gamma),
+		math.Float64bits(m.Kernel.Coef0),
+		uint64(m.Kernel.Degree),
+		math.Float64bits(m.Bias),
+	}
+	for _, h := range hdr {
+		if err := binary.Write(w, binary.LittleEndian, h); err != nil {
+			return err
+		}
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint32(len(m.SVs))); err != nil {
+		return err
+	}
+	for _, sv := range m.SVs {
+		if err := binary.Write(w, binary.LittleEndian, math.Float64bits(sv.Coeff)); err != nil {
+			return err
+		}
+		if err := WriteVector(w, sv.X); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadKernelModel decodes a model written by WriteKernelModel.
+func ReadKernelModel(r io.Reader) (*svm.KernelModel, error) {
+	var hdr [5]uint64
+	for i := range hdr {
+		if err := binary.Read(r, binary.LittleEndian, &hdr[i]); err != nil {
+			return nil, fmt.Errorf("%w: kernel header: %v", ErrCorrupt, err)
+		}
+	}
+	m := &svm.KernelModel{
+		Kernel: svm.Kernel{
+			Kind:   svm.KernelKind(hdr[0]),
+			Gamma:  math.Float64frombits(hdr[1]),
+			Coef0:  math.Float64frombits(hdr[2]),
+			Degree: int(hdr[3]),
+		},
+		Bias: math.Float64frombits(hdr[4]),
+	}
+	if m.Kernel.Kind > svm.KernelPoly {
+		return nil, fmt.Errorf("%w: kernel kind %d", ErrCorrupt, m.Kernel.Kind)
+	}
+	var n uint32
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return nil, fmt.Errorf("%w: SV count: %v", ErrCorrupt, err)
+	}
+	const maxSVs = 1 << 22
+	if n > maxSVs {
+		return nil, fmt.Errorf("%w: %d support vectors", ErrCorrupt, n)
+	}
+	for i := uint32(0); i < n; i++ {
+		var bits uint64
+		if err := binary.Read(r, binary.LittleEndian, &bits); err != nil {
+			return nil, fmt.Errorf("%w: SV %d coeff: %v", ErrCorrupt, i, err)
+		}
+		x, err := ReadVector(r, 0)
+		if err != nil {
+			return nil, err
+		}
+		m.SVs = append(m.SVs, svm.SupportVector{X: x, Coeff: math.Float64frombits(bits)})
+	}
+	return m, nil
+}
+
+// WriteTagged encodes a tag name followed by a vector — the unit of a
+// labeled-document transfer.
+func WriteTagged(w io.Writer, tag string, v *vector.Sparse) error {
+	if err := writeString(w, tag); err != nil {
+		return err
+	}
+	return WriteVector(w, v)
+}
+
+// ReadTagged decodes a WriteTagged pair.
+func ReadTagged(r io.Reader) (string, *vector.Sparse, error) {
+	tag, err := readString(r)
+	if err != nil {
+		return "", nil, err
+	}
+	v, err := ReadVector(r, 0)
+	return tag, v, err
+}

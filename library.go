@@ -1,0 +1,142 @@
+package doctagger
+
+import (
+	"time"
+
+	"repro/internal/tagstore"
+)
+
+// Library is the tagged-document library of the demo UI: persistent tag
+// metadata, tag search/filtering ("Library" panel) and the tag cloud view
+// ("Tag Cloud" panel, Fig. 4).
+type Library struct {
+	store *tagstore.Store
+}
+
+// LibraryEntry is one document's metadata.
+type LibraryEntry struct {
+	Path    string
+	Tags    []string
+	Auto    map[string]bool // provenance: true if assigned by AutoTag
+	Updated time.Time
+}
+
+// TagFrequency pairs a tag with its library document count.
+type TagFrequency struct {
+	Tag   string
+	Count int
+}
+
+// CloudView is the co-occurrence tag cloud: frequencies, edges, concept
+// clusters and bridging tags.
+type CloudView struct {
+	Tags     []TagFrequency
+	Edges    []CloudEdge
+	Clusters [][]string
+	Bridges  []string
+	rendered string
+}
+
+// CloudEdge connects two tags that co-occur in documents.
+type CloudEdge struct {
+	A, B   string
+	Weight int
+}
+
+// OpenLibrary loads (or creates) a library persisted at path.
+func OpenLibrary(path string) (*Library, error) {
+	s, err := tagstore.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	return &Library{store: s}, nil
+}
+
+// NewMemoryLibrary returns an unpersisted library.
+func NewMemoryLibrary() *Library { return &Library{store: tagstore.NewMemory()} }
+
+// Save persists the library (a no-op for memory libraries).
+func (l *Library) Save() error { return l.store.Save() }
+
+// SetTags replaces a document's tags; auto marks them as auto-assigned.
+func (l *Library) SetTags(path string, tags []string, auto bool) {
+	l.store.SetTags(path, tags, auto)
+}
+
+// AddTags merges tags into a document's entry.
+func (l *Library) AddTags(path string, tags []string, auto bool) {
+	l.store.AddTags(path, tags, auto)
+}
+
+// RemoveTag deletes one tag from a document (the refinement action).
+func (l *Library) RemoveTag(path, tag string) error { return l.store.RemoveTag(path, tag) }
+
+// Get returns a document's entry.
+func (l *Library) Get(path string) (*LibraryEntry, error) {
+	e, err := l.store.Get(path)
+	if err != nil {
+		return nil, err
+	}
+	return convertEntry(e), nil
+}
+
+// Delete removes a document from the library.
+func (l *Library) Delete(path string) { l.store.Delete(path) }
+
+// Len reports the number of documents in the library.
+func (l *Library) Len() int { return l.store.Len() }
+
+// Search returns entries matching the query terms: plain terms must all be
+// present, "-term" must be absent. An empty query lists everything.
+func (l *Library) Search(query ...string) []*LibraryEntry {
+	es := l.store.Search(query)
+	out := make([]*LibraryEntry, len(es))
+	for i, e := range es {
+		out[i] = convertEntry(e)
+	}
+	return out
+}
+
+// TagCounts returns every tag with its frequency, most frequent first.
+func (l *Library) TagCounts() []TagFrequency {
+	cs := l.store.TagCounts()
+	out := make([]TagFrequency, len(cs))
+	for i, c := range cs {
+		out[i] = TagFrequency{Tag: c.Tag, Count: c.Count}
+	}
+	return out
+}
+
+// Cloud builds the tag cloud with the given minimum co-occurrence support
+// for clustering (<=0 means 1).
+func (l *Library) Cloud(minSupport int) *CloudView {
+	c := l.store.BuildCloud(minSupport)
+	v := &CloudView{
+		Clusters: c.Clusters,
+		Bridges:  c.Bridges,
+		rendered: c.Render(0),
+	}
+	for _, tc := range c.Tags {
+		v.Tags = append(v.Tags, TagFrequency{Tag: tc.Tag, Count: tc.Count})
+	}
+	for _, e := range c.Edges {
+		v.Edges = append(v.Edges, CloudEdge{A: e.A, B: e.B, Weight: e.Weight})
+	}
+	return v
+}
+
+// String renders the cloud as terminal text.
+func (v *CloudView) String() string { return v.rendered }
+
+func convertEntry(e *tagstore.Entry) *LibraryEntry {
+	out := &LibraryEntry{
+		Path:    e.Path,
+		Tags:    append([]string(nil), e.Tags...),
+		Updated: e.Updated,
+		Auto:    map[string]bool{},
+	}
+	for k, v := range e.Auto {
+		out.Auto[k] = v
+	}
+	return out
+}
