@@ -19,6 +19,7 @@ import (
 	"os"
 	"sync"
 	"testing"
+	"time"
 
 	doctagger "repro"
 	"repro/internal/experiments"
@@ -215,6 +216,37 @@ func BenchmarkA4Privacy(b *testing.B) {
 			b.Fatal(err)
 		}
 		emit(b, tbl)
+	}
+}
+
+// BenchmarkParallelSpeedup runs the E1 sweep fully serially and then
+// fanned out over all cores, reporting the wall-clock ratio as the
+// "speedup" metric (1.0 on a single-core machine; ≥ 2 expected on 4+
+// cores). Both runs produce byte-identical tables — that contract is
+// enforced by the determinism tests; this benchmark measures what the
+// parallelism buys.
+func BenchmarkParallelSpeedup(b *testing.B) {
+	sc := experiments.QuickScale()
+	var serialTotal, parallelTotal time.Duration
+	for i := 0; i < b.N; i++ {
+		serialScale := sc
+		serialScale.Parallel = 1
+		start := time.Now()
+		if _, err := experiments.E1AccuracyVsPeers(serialScale); err != nil {
+			b.Fatal(err)
+		}
+		serialTotal += time.Since(start)
+
+		parallelScale := sc
+		parallelScale.Parallel = 0 // all cores
+		start = time.Now()
+		if _, err := experiments.E1AccuracyVsPeers(parallelScale); err != nil {
+			b.Fatal(err)
+		}
+		parallelTotal += time.Since(start)
+	}
+	if parallelTotal > 0 {
+		b.ReportMetric(float64(serialTotal)/float64(parallelTotal), "speedup")
 	}
 }
 

@@ -5,7 +5,12 @@
 //
 // Usage:
 //
-//	experiments [-quick] [-max-peers N] [-only E4] [-out results.md]
+//	experiments [-quick] [-max-peers N] [-only E4] [-parallel N] [-seed S] [-out results.md]
+//
+// Sweeps fan their cells out over -parallel workers (default: all cores;
+// 1 reproduces the old serial behavior) and render byte-identical tables
+// at any worker count. -seed re-seeds the whole sweep, deriving an
+// independent seed per cell; 0 keeps the committed EXPERIMENTS.md seed.
 package main
 
 import (
@@ -27,6 +32,8 @@ func main() {
 	maxPeers := flag.Int("max-peers", 0, "override the largest network size")
 	only := flag.String("only", "", "run a single experiment (E1..E10, F4)")
 	out := flag.String("out", "", "also write results as markdown to this file")
+	parallel := flag.Int("parallel", 0, "worker count for sweep cells (0 = all cores, 1 = serial)")
+	seedFlag := flag.Int64("seed", 0, "re-seed the sweep, deriving independent per-cell seeds (0 = committed seed)")
 	flag.Parse()
 
 	sc := experiments.DefaultScale()
@@ -36,6 +43,8 @@ func main() {
 	if *maxPeers > 0 {
 		sc.MaxPeers = *maxPeers
 	}
+	sc.Parallel = *parallel
+	sc.Seed = *seedFlag
 
 	type entry struct {
 		id  string

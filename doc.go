@@ -23,4 +23,37 @@
 // The experiment harness reproducing the paper's demonstration scenarios
 // lives in bench_test.go (one benchmark per experiment; see EXPERIMENTS.md)
 // and is driven by the P2PDMT toolkit under internal/p2pdmt.
+//
+// # Parallel execution
+//
+// CPU-bound work throughout the system runs on internal/runner, a
+// deterministic parallel execution subsystem: independent jobs fan out
+// over a GOMAXPROCS-sized worker pool and results are collected in
+// submission order, so parallel output is byte-identical to a serial run.
+// Three layers use it:
+//
+//   - Experiment sweeps (internal/experiments): every (experiment, config)
+//     cell is an independent job building its own simulated network from
+//     its own seed. Rows append in declaration order. Run sweeps with
+//     "cmd/experiments -parallel N" (0 = all cores, 1 = serial); "-seed S"
+//     re-seeds a sweep, deriving an independent seed per cell via
+//     runner.DeriveSeed(S, experimentID, cellCoordinates...) — FNV-1a over
+//     the cell's identity finished with the SplitMix64 avalanche, so no
+//     two cells share a random stream and neither scheduling order nor
+//     worker count can change any cell's result.
+//   - Per-peer training (internal/p2pdmt and the protocols): each peer's
+//     local SVM training reads only that peer's shard, so peers train
+//     concurrently; only the protocol message exchange stays on the
+//     simulator's virtual clock. CEMPaR's per-tag regional cascades and
+//     the centralized baseline's per-tag global models parallelize the
+//     same way. See p2pdmt.Config.Parallel.
+//   - Batch tagging (AutoTagBatch): term extraction fans out per document
+//     while lexicon id assignment stays serial in input order, and all
+//     swarm queries are issued before the network runs once.
+//
+// The determinism contract — parallel execution is bit-identical to
+// serial — is enforced by tests at all three layers (see
+// internal/experiments/determinism_test.go, TestRunParallelMatchesSerial,
+// TestAutoTagBatchMatchesSerial) and the suite is race-clean under
+// "go test -race ./...".
 package doctagger

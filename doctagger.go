@@ -47,6 +47,13 @@ type Config struct {
 	TopK int
 	// Seed makes the swarm deterministic.
 	Seed int64
+	// Parallel is the worker count for the swarm's CPU-bound phases —
+	// per-peer training during Train and batch preprocessing in
+	// AutoTagBatch. 0 (the default) uses every core; 1 runs serially.
+	// Results are bit-identical at any setting; set 1 when the caller
+	// already owns the cores (e.g. experiment sweeps running many swarms
+	// concurrently).
+	Parallel int
 }
 
 func (c *Config) defaults() error {
@@ -147,18 +154,20 @@ func New(cfg Config) (*Tagger, error) {
 		})
 		s = cempar.New(ring, cempar.Config{
 			Regions: cfg.Regions, Weighted: true, Seed: cfg.Seed + 2,
+			Parallel: cfg.Parallel,
 		})
 		t.clf, t.refiner, t.setDocs = s, s, s.SetDocs
 	case ProtocolPACE:
-		s := pace.New(t.net, ids, pace.Config{TopK: cfg.TopK, Seed: cfg.Seed + 3})
+		s := pace.New(t.net, ids, pace.Config{TopK: cfg.TopK, Seed: cfg.Seed + 3, Parallel: cfg.Parallel})
 		t.clf, t.refiner, t.setDocs = s, s, s.SetDocs
 	case ProtocolCentralized:
 		s := baseline.NewCentralized(t.net, ids, baseline.CentralizedConfig{
-			Coordinator: ids[0], Seed: cfg.Seed + 4,
+			Coordinator: ids[0], Seed: cfg.Seed + 4, Parallel: cfg.Parallel,
 		})
 		t.clf, t.refiner, t.setDocs = s, s, s.SetDocs
 	case ProtocolLocal:
 		s := baseline.NewLocal(t.net, ids, 1, cfg.Seed+5)
+		s.Parallel = cfg.Parallel
 		t.clf, t.refiner, t.setDocs = s, s, s.SetDocs
 	}
 	return t, nil
@@ -258,6 +267,48 @@ func (t *Tagger) AutoTag(text string) ([]string, error) {
 		return nil, ErrNoAnswer
 	}
 	return protocol.SelectTags(scores, t.cfg.Threshold, t.cfg.MaxTags), nil
+}
+
+// AutoTagBatch assigns tags to many documents in one pass and returns one
+// tag list per input text, in input order. It produces exactly what
+// calling AutoTag on each text in sequence would, but restructures the
+// work for throughput: term extraction fans out over all cores
+// (preprocessing is pure per-document CPU work; lexicon id assignment
+// stays serial in input order so feature ids are reproducible), and every
+// swarm query is issued before the simulated network runs once, instead
+// of draining the event queue per document.
+//
+// Documents the swarm cannot answer get a nil tag list rather than
+// aborting the batch; the first such failure is reported as an
+// ErrNoAnswer-wrapping error alongside the remaining results.
+func (t *Tagger) AutoTagBatch(texts []string) ([][]string, error) {
+	if !t.trained {
+		return nil, ErrNotTrained
+	}
+	vecs := t.pre.VectorizeBatch(texts, t.cfg.Parallel)
+	type answer struct {
+		scores []metrics.ScoredTag
+		ok     bool
+	}
+	answers := make([]answer, len(texts))
+	for i, x := range vecs {
+		t.clf.Predict(t.self, x, func(sc []metrics.ScoredTag, ok bool) {
+			answers[i] = answer{scores: sc, ok: ok}
+		})
+	}
+	t.run()
+	out := make([][]string, len(texts))
+	var firstErr error
+	for i, a := range answers {
+		if !a.ok {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("doctagger: document %d: %w", i, ErrNoAnswer)
+			}
+			continue
+		}
+		out[i] = protocol.SelectTags(a.scores, t.cfg.Threshold, t.cfg.MaxTags)
+	}
+	return out, firstErr
 }
 
 // Refine records the user's corrected tags for a document at the local

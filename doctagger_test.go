@@ -110,6 +110,67 @@ func TestEndToEndPerProtocol(t *testing.T) {
 	}
 }
 
+// TestAutoTagBatchMatchesSerial pins AutoTagBatch's contract: for every
+// protocol, batching must return exactly what per-document AutoTag calls
+// return, in input order, on an identically built swarm.
+func TestAutoTagBatchMatchesSerial(t *testing.T) {
+	queries := []string{
+		"a new album with a soft piano melody",
+		"booking a flight and a hotel for the island",
+		"a bread recipe with yeast and flour",
+		"drum track with a heavy bass rhythm",
+	}
+	for _, proto := range []string{ProtocolCEMPaR, ProtocolPACE, ProtocolCentralized, ProtocolLocal} {
+		build := func() *Tagger {
+			tg, err := New(Config{Protocol: proto, Peers: 4, Seed: 11})
+			if err != nil {
+				t.Fatal(err)
+			}
+			corpusFor(t, tg, 4)
+			if err := tg.Train(); err != nil {
+				t.Fatal(err)
+			}
+			return tg
+		}
+		serial := build()
+		want := make([][]string, len(queries))
+		for i, q := range queries {
+			tags, err := serial.AutoTag(q)
+			if err != nil {
+				t.Fatalf("%s: AutoTag(%q): %v", proto, q, err)
+			}
+			want[i] = tags
+		}
+		got, err := build().AutoTagBatch(queries)
+		if err != nil {
+			t.Fatalf("%s: AutoTagBatch: %v", proto, err)
+		}
+		for i := range queries {
+			if strings.Join(got[i], ",") != strings.Join(want[i], ",") {
+				t.Errorf("%s: doc %d: batch %v != serial %v", proto, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestAutoTagBatchGuards(t *testing.T) {
+	tg, err := New(Config{Peers: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tg.AutoTagBatch([]string{"anything"}); err != ErrNotTrained {
+		t.Errorf("AutoTagBatch before train = %v", err)
+	}
+	corpusFor(t, tg, 4)
+	if err := tg.Train(); err != nil {
+		t.Fatal(err)
+	}
+	out, err := tg.AutoTagBatch(nil)
+	if err != nil || len(out) != 0 {
+		t.Errorf("empty batch: %v, %v", out, err)
+	}
+}
+
 func TestRefinementPersonalizes(t *testing.T) {
 	tg, err := New(Config{Protocol: ProtocolCEMPaR, Peers: 6, Seed: 3})
 	if err != nil {

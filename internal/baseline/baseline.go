@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/metrics"
 	"repro/internal/protocol"
+	"repro/internal/runner"
 	"repro/internal/simnet"
 	"repro/internal/svm"
 	"repro/internal/vector"
@@ -26,6 +27,11 @@ type CentralizedConfig struct {
 	// kept for symmetry; queries to a dead coordinator fail via lost
 	// messages and the caller's run horizon.
 	Seed int64
+	// Parallel is the worker count for the coordinator's global training:
+	// the one-vs-all models are independent per tag, so they train
+	// concurrently. 1 means serial; other values <= 0 mean GOMAXPROCS.
+	// The result is bit-identical at any worker count.
+	Parallel int
 }
 
 // Centralized is the centralized collaborative tagger.
@@ -160,17 +166,32 @@ func (c *Centralized) retrainIfDirty() {
 		return
 	}
 	c.dirty = false
-	c.models = make(map[string]*svm.LinearModel)
-	c.platt = make(map[string]svm.PlattParams)
-	for _, tag := range protocol.TagUniverse(c.pool) {
-		exs := protocol.BinaryExamples(c.pool, tag)
+	// Each tag is an independent one-vs-all problem over the shared
+	// read-only pool, so the tags train concurrently; results install
+	// serially in sorted-tag order, identical at any worker count.
+	tags := protocol.TagUniverse(c.pool)
+	type trained struct {
+		model *svm.LinearModel
+		platt svm.PlattParams
+	}
+	models, _ := runner.Map(len(tags), c.cfg.Parallel, func(i int) (trained, error) {
+		exs := protocol.BinaryExamples(c.pool, tags[i])
 		m, err := svm.TrainLinear(exs, svm.LinearOptions{C: c.cfg.C, Seed: c.cfg.Seed})
 		if err != nil {
+			return trained{}, nil
+		}
+		platt, _ := svm.CalibrateLinearCV(exs,
+			svm.LinearOptions{C: c.cfg.C, Seed: c.cfg.Seed}, m, 3)
+		return trained{model: m, platt: platt}, nil
+	})
+	c.models = make(map[string]*svm.LinearModel, len(tags))
+	c.platt = make(map[string]svm.PlattParams, len(tags))
+	for i, tag := range tags {
+		if models[i].model == nil {
 			continue
 		}
-		c.models[tag] = m
-		c.platt[tag], _ = svm.CalibrateLinearCV(exs,
-			svm.LinearOptions{C: c.cfg.C, Seed: c.cfg.Seed}, m, 3)
+		c.models[tag] = models[i].model
+		c.platt[tag] = models[i].platt
 	}
 }
 
@@ -229,6 +250,12 @@ func (c *Centralized) Refine(peer simnet.NodeID, doc protocol.Doc) {
 // Local is the no-collaboration floor: every peer trains only on its own
 // documents and predicts locally. It sends no messages at all.
 type Local struct {
+	// Parallel is the worker count for Fit: peers train independently
+	// from their own shards and fan out over it. Set it before Fit; 1
+	// means serial, other values <= 0 mean GOMAXPROCS. The result is
+	// bit-identical at any worker count.
+	Parallel int
+
 	net    *simnet.Network
 	models map[simnet.NodeID]map[string]*svm.LinearModel
 	platt  map[simnet.NodeID]map[string]svm.PlattParams
@@ -263,14 +290,30 @@ func (l *Local) SetDocs(id simnet.NodeID, docs []protocol.Doc) { l.docs[id] = do
 // Name implements protocol.Classifier.
 func (l *Local) Name() string { return "Local-only" }
 
-// Fit trains every peer's private models. No traffic.
+// Fit trains every peer's private models concurrently (each peer reads
+// only its own shard and the trained maps install serially afterwards, so
+// any worker count yields the same models). No traffic.
 func (l *Local) Fit() {
+	ids := make([]simnet.NodeID, 0, len(l.docs))
 	for id := range l.docs {
-		l.trainPeer(id)
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	type peerModels struct {
+		models map[string]*svm.LinearModel
+		platt  map[string]svm.PlattParams
+	}
+	trained, _ := runner.Map(len(ids), l.Parallel, func(i int) (peerModels, error) {
+		ms, ps := l.trainPeer(ids[i])
+		return peerModels{models: ms, platt: ps}, nil
+	})
+	for i, id := range ids {
+		l.models[id] = trained[i].models
+		l.platt[id] = trained[i].platt
 	}
 }
 
-func (l *Local) trainPeer(id simnet.NodeID) {
+func (l *Local) trainPeer(id simnet.NodeID) (map[string]*svm.LinearModel, map[string]svm.PlattParams) {
 	docs := l.docs[id]
 	ms := make(map[string]*svm.LinearModel)
 	ps := make(map[string]svm.PlattParams)
@@ -284,8 +327,7 @@ func (l *Local) trainPeer(id simnet.NodeID) {
 		ps[tag], _ = svm.CalibrateLinearCV(exs,
 			svm.LinearOptions{C: l.c, Seed: l.seed + int64(id)}, m, 3)
 	}
-	l.models[id] = ms
-	l.platt[id] = ps
+	return ms, ps
 }
 
 // Predict implements protocol.Classifier, synchronously and locally.
@@ -310,5 +352,5 @@ func (l *Local) Predict(from simnet.NodeID, x *vector.Sparse, cb func([]metrics.
 // Refine implements protocol.Refiner locally.
 func (l *Local) Refine(peer simnet.NodeID, doc protocol.Doc) {
 	l.docs[peer] = append(l.docs[peer], doc)
-	l.trainPeer(peer)
+	l.models[peer], l.platt[peer] = l.trainPeer(peer)
 }

@@ -15,6 +15,7 @@ import (
 	"repro/internal/dht"
 	"repro/internal/metrics"
 	"repro/internal/protocol"
+	"repro/internal/runner"
 	"repro/internal/simnet"
 	"repro/internal/svm"
 	"repro/internal/vector"
@@ -48,6 +49,12 @@ type Config struct {
 	QueryTimeout time.Duration
 	// Seed drives SVM training.
 	Seed int64
+	// Parallel is the worker count for the local-training phase of Fit:
+	// each peer trains from its own shard, so peers fan out over real
+	// cores while the protocol's message exchange stays on the virtual
+	// clock. 1 means serial; other values <= 0 mean GOMAXPROCS. The
+	// result is bit-identical at any worker count.
+	Parallel int
 }
 
 func (c *Config) defaults() {
@@ -181,12 +188,23 @@ func (s *System) Name() string { return "CEMPaR" }
 
 // Fit trains local models at every alive peer and propagates them to the
 // peers' regional super-peers via DHT lookups. Run the network to complete.
+//
+// Training is pure per-peer CPU work that touches neither the network nor
+// the virtual clock, so the peers train concurrently (cfg.Parallel
+// workers); propagation then runs serially in peer order, producing
+// exactly the message schedule of a serial Fit.
 func (s *System) Fit() {
+	var alive []simnet.NodeID
 	for _, id := range s.d.Peers() {
-		if !s.net.Alive(id) {
-			continue
+		if s.net.Alive(id) {
+			alive = append(alive, id)
 		}
-		s.trainLocal(id)
+	}
+	_ = runner.ForEach(len(alive), s.cfg.Parallel, func(i int) error {
+		s.trainLocal(alive[i])
+		return nil
+	})
+	for _, id := range alive {
 		s.propagate(id)
 	}
 }
@@ -348,40 +366,66 @@ func (s *System) cascade(self simnet.NodeID) {
 			byTag[tag] = nil
 		}
 	}
-	p.regional = make(map[string]*svm.KernelModel, len(byTag))
-	p.regionalWeight = weight
-	p.regionalPlatt = make(map[string]svm.PlattParams, len(byTag))
-	for tag, models := range byTag {
+	// Cascade and calibrate each tag's models concurrently: tags are
+	// independent one-vs-all problems, samples and byTag are read-only
+	// here, and every job is seeded from the config alone, so the merged
+	// models are identical at any worker count. The results install
+	// serially in sorted-tag order.
+	tags := make([]string, 0, len(byTag))
+	for tag := range byTag {
+		tags = append(tags, tag)
+	}
+	sort.Strings(tags)
+	type regionalModel struct {
+		model  *svm.KernelModel
+		platt  svm.PlattParams
+		weight float64
+	}
+	merged, _ := runner.Map(len(tags), s.cfg.Parallel, func(i int) (regionalModel, error) {
+		tag := tags[i]
+		models := byTag[tag]
+		w := weight[tag]
 		// Samples from one-class peers join the cascade as one degenerate
 		// "model" whose support vectors are exactly the labeled examples.
 		if len(samples) > 0 {
 			if sm := sampleModel(samples, tag, s.cfg.Kernel, s.cfg.C); sm != nil {
 				models = append(models, sm)
-				weight[tag] += float64(len(samples))
+				w += float64(len(samples))
 			}
 		}
 		if len(models) == 0 {
-			continue
+			return regionalModel{}, nil
 		}
-		merged, err := svm.Cascade(models, svm.CascadeOptions{
+		m, err := svm.Cascade(models, svm.CascadeOptions{
 			KernelOptions: svm.KernelOptions{
 				Kernel: s.cfg.Kernel, C: s.cfg.C, Seed: s.cfg.Seed + 7777,
 			},
 			FanIn: s.cfg.CascadeFanIn,
 		})
 		if err != nil {
-			continue
+			return regionalModel{}, nil
 		}
-		p.regional[tag] = merged
 		// Calibrate on the pooled support examples so votes from different
 		// regions are on a common probability scale.
 		var pool []svm.Example
-		for _, m := range models {
-			pool = append(pool, m.SupportExamples()...)
+		for _, mm := range models {
+			pool = append(pool, mm.SupportExamples()...)
 		}
-		p.regionalPlatt[tag] = svm.CalibrateKernelCV(pool, svm.KernelOptions{
+		platt := svm.CalibrateKernelCV(pool, svm.KernelOptions{
 			Kernel: s.cfg.Kernel, C: s.cfg.C, Seed: s.cfg.Seed + 8888,
-		}, merged, 3)
+		}, m, 3)
+		return regionalModel{model: m, platt: platt, weight: w}, nil
+	})
+	p.regional = make(map[string]*svm.KernelModel, len(tags))
+	p.regionalWeight = make(map[string]float64, len(tags))
+	p.regionalPlatt = make(map[string]svm.PlattParams, len(tags))
+	for i, tag := range tags {
+		if merged[i].model == nil {
+			continue
+		}
+		p.regional[tag] = merged[i].model
+		p.regionalWeight[tag] = merged[i].weight
+		p.regionalPlatt[tag] = merged[i].platt
 	}
 }
 

@@ -17,10 +17,7 @@ import (
 func A1CEMPaRAblations(sc Scale) (*p2pdmt.Table, error) {
 	tbl := p2pdmt.NewTable("A1: CEMPaR design ablations",
 		"variant", "microF1", "precision", "recall", "queryBytes/query")
-	n := 32
-	if n > sc.MaxPeers {
-		n = sc.MaxPeers
-	}
+	n := midPeers(sc, 32)
 	variants := []struct {
 		name string
 		cfg  cempar.Config
@@ -33,21 +30,24 @@ func A1CEMPaRAblations(sc Scale) (*p2pdmt.Table, error) {
 		{"fan-in=2", cempar.Config{Regions: 4, Weighted: true, CascadeFanIn: 2}},
 		{"fan-in=8", cempar.Config{Regions: 4, Weighted: true, CascadeFanIn: 8}},
 	}
+	var jobs []cellJob
 	for _, v := range variants {
-		cfg := baseConfig(p2pdmt.ProtoCEMPaR, n, sc)
-		cfg.CEMPaR = v.cfg
-		res, err := p2pdmt.Run(cfg)
-		if err != nil {
-			return nil, fmt.Errorf("A1 %s: %w", v.name, err)
-		}
-		perQuery := int64(0)
-		if res.TotalQueries > 0 {
-			perQuery = res.QueryCost.Bytes / int64(res.TotalQueries)
-		}
-		tbl.AddRow(v.name, res.Eval.MicroF1(), res.Eval.MicroPrecision(),
-			res.Eval.MicroRecall(), perQuery)
+		jobs = append(jobs, func() ([][]any, error) {
+			cfg := baseConfig(p2pdmt.ProtoCEMPaR, n, sc, "A1", v.name)
+			cfg.CEMPaR = v.cfg
+			res, err := p2pdmt.Run(cfg)
+			if err != nil {
+				return nil, fmt.Errorf("A1 %s: %w", v.name, err)
+			}
+			perQuery := int64(0)
+			if res.TotalQueries > 0 {
+				perQuery = res.QueryCost.Bytes / int64(res.TotalQueries)
+			}
+			return [][]any{{v.name, res.Eval.MicroF1(), res.Eval.MicroPrecision(),
+				res.Eval.MicroRecall(), perQuery}}, nil
+		})
 	}
-	return tbl, nil
+	return tbl, runCells(tbl, sc, jobs)
 }
 
 // A2Weighting compares term-weighting schemes in the preprocessing stage.
@@ -56,23 +56,23 @@ func A1CEMPaRAblations(sc Scale) (*p2pdmt.Table, error) {
 func A2Weighting(sc Scale) (*p2pdmt.Table, error) {
 	tbl := p2pdmt.NewTable("A2: term-weighting ablation (CEMPaR)",
 		"weighting", "microF1", "precision", "recall")
-	n := 16
-	if n > sc.MaxPeers {
-		n = sc.MaxPeers
-	}
+	n := midPeers(sc, 16)
+	var jobs []cellJob
 	for _, w := range []textproc.Weighting{
 		textproc.TermFrequency, textproc.LogTF, textproc.TFIDF,
 	} {
-		cfg := baseConfig(p2pdmt.ProtoCEMPaR, n, sc)
-		cfg.Weighting = w
-		res, err := p2pdmt.Run(cfg)
-		if err != nil {
-			return nil, fmt.Errorf("A2 %s: %w", w, err)
-		}
-		tbl.AddRow(w.String(), res.Eval.MicroF1(), res.Eval.MicroPrecision(),
-			res.Eval.MicroRecall())
+		jobs = append(jobs, func() ([][]any, error) {
+			cfg := baseConfig(p2pdmt.ProtoCEMPaR, n, sc, "A2", w.String())
+			cfg.Weighting = w
+			res, err := p2pdmt.Run(cfg)
+			if err != nil {
+				return nil, fmt.Errorf("A2 %s: %w", w, err)
+			}
+			return [][]any{{w.String(), res.Eval.MicroF1(), res.Eval.MicroPrecision(),
+				res.Eval.MicroRecall()}}, nil
+		})
 	}
-	return tbl, nil
+	return tbl, runCells(tbl, sc, jobs)
 }
 
 // A3DropRate injects random message loss — the failure mode the paper's
@@ -83,23 +83,23 @@ func A2Weighting(sc Scale) (*p2pdmt.Table, error) {
 func A3DropRate(sc Scale) (*p2pdmt.Table, error) {
 	tbl := p2pdmt.NewTable("A3: random message loss",
 		"dropRate", "protocol", "answered", "failed", "microF1")
-	n := 32
-	if n > sc.MaxPeers {
-		n = sc.MaxPeers
-	}
+	n := midPeers(sc, 32)
+	var jobs []cellJob
 	for _, drop := range []float64{0, 0.05, 0.15, 0.3} {
 		for _, proto := range []p2pdmt.ProtocolKind{p2pdmt.ProtoPACE, p2pdmt.ProtoCEMPaR} {
-			cfg := baseConfig(proto, n, sc)
-			cfg.DropRate = drop
-			res, err := p2pdmt.Run(cfg)
-			if err != nil {
-				return nil, fmt.Errorf("A3 %s drop=%v: %w", proto, drop, err)
-			}
-			tbl.AddRow(drop, res.Protocol, res.TotalQueries-res.FailedQueries,
-				res.FailedQueries, res.Eval.MicroF1())
+			jobs = append(jobs, func() ([][]any, error) {
+				cfg := baseConfig(proto, n, sc, "A3", string(proto), fmt.Sprint(drop))
+				cfg.DropRate = drop
+				res, err := p2pdmt.Run(cfg)
+				if err != nil {
+					return nil, fmt.Errorf("A3 %s drop=%v: %w", proto, drop, err)
+				}
+				return [][]any{{drop, res.Protocol, res.TotalQueries - res.FailedQueries,
+					res.FailedQueries, res.Eval.MicroF1()}}, nil
+			})
 		}
 	}
-	return tbl, nil
+	return tbl, runCells(tbl, sc, jobs)
 }
 
 // A4Privacy sweeps PACE's model-perturbation noise — the pluggable privacy
@@ -110,19 +110,19 @@ func A3DropRate(sc Scale) (*p2pdmt.Table, error) {
 func A4Privacy(sc Scale) (*p2pdmt.Table, error) {
 	tbl := p2pdmt.NewTable("A4: PACE privacy noise (privacy-utility trade-off)",
 		"noiseScale", "microF1", "precision", "recall")
-	n := 16
-	if n > sc.MaxPeers {
-		n = sc.MaxPeers
-	}
+	n := midPeers(sc, 16)
+	var jobs []cellJob
 	for _, noise := range []float64{0, 0.1, 0.3, 1.0, 3.0} {
-		cfg := baseConfig(p2pdmt.ProtoPACE, n, sc)
-		cfg.PACE = pace.Config{TopK: 5, NoiseScale: noise}
-		res, err := p2pdmt.Run(cfg)
-		if err != nil {
-			return nil, fmt.Errorf("A4 noise=%v: %w", noise, err)
-		}
-		tbl.AddRow(noise, res.Eval.MicroF1(), res.Eval.MicroPrecision(),
-			res.Eval.MicroRecall())
+		jobs = append(jobs, func() ([][]any, error) {
+			cfg := baseConfig(p2pdmt.ProtoPACE, n, sc, "A4", fmt.Sprint(noise))
+			cfg.PACE = pace.Config{TopK: 5, NoiseScale: noise}
+			res, err := p2pdmt.Run(cfg)
+			if err != nil {
+				return nil, fmt.Errorf("A4 noise=%v: %w", noise, err)
+			}
+			return [][]any{{noise, res.Eval.MicroF1(), res.Eval.MicroPrecision(),
+				res.Eval.MicroRecall()}}, nil
+		})
 	}
-	return tbl, nil
+	return tbl, runCells(tbl, sc, jobs)
 }

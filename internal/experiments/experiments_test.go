@@ -55,6 +55,9 @@ func TestE2Shape(t *testing.T) {
 }
 
 func TestE3Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full training-fraction sweep; run without -short")
+	}
 	tbl, err := E3TrainingFraction(QuickScale())
 	if err != nil {
 		t.Fatal(err)
@@ -78,6 +81,9 @@ func TestE3Shape(t *testing.T) {
 }
 
 func TestE4Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full churn sweep; run without -short")
+	}
 	tbl, err := E4Churn(QuickScale())
 	if err != nil {
 		t.Fatal(err)
@@ -91,6 +97,9 @@ func TestE4Shape(t *testing.T) {
 }
 
 func TestE5Runs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full size-skew sweep; run without -short")
+	}
 	tbl, err := E5SizeSkew(QuickScale())
 	if err != nil {
 		t.Fatal(err)
@@ -101,6 +110,9 @@ func TestE5Runs(t *testing.T) {
 }
 
 func TestE6Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full class-skew sweep; run without -short")
+	}
 	tbl, err := E6ClassSkew(QuickScale())
 	if err != nil {
 		t.Fatal(err)
@@ -157,6 +169,9 @@ func TestE8Runs(t *testing.T) {
 }
 
 func TestE9Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full threshold sweep; run without -short")
+	}
 	tbl, err := E9ConfidenceSlider(QuickScale())
 	if err != nil {
 		t.Fatal(err)
@@ -177,6 +192,9 @@ func TestE9Shape(t *testing.T) {
 }
 
 func TestE10Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full refinement sweep; run without -short")
+	}
 	tbl, err := E10Refinement(QuickScale())
 	if err != nil {
 		t.Fatal(err)

@@ -33,7 +33,9 @@ func (h *dhtHarness) lookup(from simnet.NodeID, key string, hops *int) error {
 // corrections, each round feeding gold-tagged documents back through
 // Refine. Expected shape: accuracy climbs monotonically with refinement
 // rounds — the "adapt to their personal preference for future tagging"
-// claim. It exercises the public doctagger API end to end.
+// claim. It exercises the public doctagger API end to end; each
+// rounds-count is an independent cell building its own swarm, so the
+// cells fan out over the sweep's worker pool.
 func E10Refinement(sc Scale) (*p2pdmt.Table, error) {
 	tbl := p2pdmt.NewTable("E10: accuracy vs tag-refinement rounds",
 		"rounds", "refinedDocs", "microF1", "precision", "recall")
@@ -43,14 +45,14 @@ func E10Refinement(sc Scale) (*p2pdmt.Table, error) {
 	corpusCfg.DocsPerUserMin = 40
 	corpusCfg.DocsPerUserMax = 60
 	corpusCfg.NumTags = 12
-	corpusCfg.Seed = seed + 777
+	corpusCfg.Seed = sc.cellSeed("E10", "corpus") + 777
 	corpus, err := dataset.Generate(corpusCfg)
 	if err != nil {
 		return nil, err
 	}
 	// 5% bootstrap labels; the remainder split into a refinement pool and
-	// a fixed evaluation set.
-	train, rest := dataset.SplitTrainTest(corpus.Docs, 0.05, seed)
+	// a fixed evaluation set. All cells share the corpus read-only.
+	train, rest := dataset.SplitTrainTest(corpus.Docs, 0.05, sc.cellSeed("E10", "split"))
 	poolSize := len(rest) / 2
 	pool, eval := rest[:poolSize], rest[poolSize:]
 	if len(eval) > sc.EvalDocs*2 {
@@ -58,59 +60,68 @@ func E10Refinement(sc Scale) (*p2pdmt.Table, error) {
 	}
 	perRound := 20
 
+	var jobs []cellJob
 	for _, rounds := range []int{0, 1, 2, 4} {
-		tg, err := doctagger.New(doctagger.Config{
-			Protocol: doctagger.ProtocolCEMPaR,
-			Peers:    peers,
-			Regions:  2,
-			Seed:     seed,
-		})
-		if err != nil {
-			return nil, err
-		}
-		for _, d := range train {
-			if err := tg.AddDocument(d.User%peers, d.Text, d.Tags...); err != nil {
+		jobs = append(jobs, func() ([][]any, error) {
+			tg, err := doctagger.New(doctagger.Config{
+				Protocol: doctagger.ProtocolCEMPaR,
+				Peers:    peers,
+				Regions:  2,
+				Seed:     sc.cellSeed("E10", fmt.Sprint(rounds)),
+				Parallel: 1, // the sweep's cells own the cores
+			})
+			if err != nil {
 				return nil, err
 			}
-		}
-		if err := tg.Train(); err != nil {
-			return nil, err
-		}
-		refined := 0
-		for r := 0; r < rounds; r++ {
-			for i := r * perRound; i < (r+1)*perRound && i < len(pool); i++ {
-				d := pool[i]
-				// The user corrects the auto-tagger's output to the gold
-				// tags (the Fig. 3 refinement action).
-				if err := tg.Refine(d.Text, d.Tags...); err != nil {
+			for _, d := range train {
+				if err := tg.AddDocument(d.User%peers, d.Text, d.Tags...); err != nil {
 					return nil, err
 				}
-				refined++
 			}
-		}
-		f1, p, rcl, err := scoreTagger(tg, eval)
-		if err != nil {
-			return nil, err
-		}
-		tbl.AddRow(rounds, refined, f1, p, rcl)
+			if err := tg.Train(); err != nil {
+				return nil, err
+			}
+			refined := 0
+			for r := 0; r < rounds; r++ {
+				for i := r * perRound; i < (r+1)*perRound && i < len(pool); i++ {
+					d := pool[i]
+					// The user corrects the auto-tagger's output to the gold
+					// tags (the Fig. 3 refinement action).
+					if err := tg.Refine(d.Text, d.Tags...); err != nil {
+						return nil, err
+					}
+					refined++
+				}
+			}
+			f1, p, rcl, err := scoreTagger(tg, eval)
+			if err != nil {
+				return nil, err
+			}
+			return [][]any{{rounds, refined, f1, p, rcl}}, nil
+		})
 	}
-	return tbl, nil
+	return tbl, runCells(tbl, sc, jobs)
 }
 
-// scoreTagger evaluates a trained public-API tagger on gold documents.
+// scoreTagger evaluates a trained public-API tagger on gold documents,
+// tagging the whole evaluation set in one AutoTagBatch pass.
 func scoreTagger(tg *doctagger.Tagger, eval []dataset.Document) (f1, precision, recall float64, err error) {
+	texts := make([]string, len(eval))
+	for i, d := range eval {
+		texts[i] = d.Text
+	}
+	tagged, err := tg.AutoTagBatch(texts)
+	if err != nil {
+		return 0, 0, 0, err
+	}
 	var tp, fp, fn float64
-	for _, d := range eval {
-		tags, err := tg.AutoTag(d.Text)
-		if err != nil {
-			return 0, 0, 0, err
-		}
+	for i, d := range eval {
 		gold := map[string]bool{}
 		for _, t := range d.Tags {
 			gold[t] = true
 		}
 		pred := map[string]bool{}
-		for _, t := range tags {
+		for _, t := range tagged[i] {
 			pred[t] = true
 		}
 		for t := range pred {
@@ -147,7 +158,8 @@ func F4TagCloud(sc Scale) (*p2pdmt.Table, string, error) {
 		"measure", "value")
 	const peers = 8
 	tg, err := doctagger.New(doctagger.Config{
-		Protocol: doctagger.ProtocolCEMPaR, Peers: peers, Regions: 2, Seed: seed,
+		Protocol: doctagger.ProtocolCEMPaR, Peers: peers, Regions: 2,
+		Seed: sc.cellSeed("F4"), Parallel: 1, // sweep cells own the cores
 	})
 	if err != nil {
 		return nil, "", err
@@ -157,12 +169,12 @@ func F4TagCloud(sc Scale) (*p2pdmt.Table, string, error) {
 	corpusCfg.NumTags = 10
 	corpusCfg.DocsPerUserMin = 30
 	corpusCfg.DocsPerUserMax = 50
-	corpusCfg.Seed = seed + 4242
+	corpusCfg.Seed = sc.cellSeed("F4", "corpus") + 4242
 	corpus, err := dataset.Generate(corpusCfg)
 	if err != nil {
 		return nil, "", err
 	}
-	train, test := dataset.SplitTrainTest(corpus.Docs, 0.3, seed)
+	train, test := dataset.SplitTrainTest(corpus.Docs, 0.3, sc.cellSeed("F4", "split"))
 	for _, d := range train {
 		if err := tg.AddDocument(d.User%peers, d.Text, d.Tags...); err != nil {
 			return nil, "", err
@@ -176,13 +188,16 @@ func F4TagCloud(sc Scale) (*p2pdmt.Table, string, error) {
 	if limit > len(test) {
 		limit = len(test)
 	}
+	texts := make([]string, limit)
 	for i := 0; i < limit; i++ {
-		d := test[i]
-		tags, err := tg.AutoTag(d.Text)
-		if err != nil {
-			return nil, "", err
-		}
-		lib.SetTags(fmt.Sprintf("doc-%d", d.ID), tags, true)
+		texts[i] = test[i].Text
+	}
+	tagged, err := tg.AutoTagBatch(texts)
+	if err != nil {
+		return nil, "", err
+	}
+	for i := 0; i < limit; i++ {
+		lib.SetTags(fmt.Sprintf("doc-%d", test[i].ID), tagged[i], true)
 	}
 	cloud := lib.Cloud(2)
 	tbl.AddRow("documents auto-tagged", limit)

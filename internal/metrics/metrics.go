@@ -147,8 +147,17 @@ func (m *MultiLabel) MacroF1() float64 {
 	if len(m.perTag) == 0 {
 		return 0
 	}
+	// Sum in sorted-tag order: float addition is order-sensitive at the
+	// ulp, and map iteration order would make repeated calls disagree in
+	// the last digit — breaking byte-identical experiment tables.
+	tags := make([]string, 0, len(m.perTag))
+	for tag := range m.perTag {
+		tags = append(tags, tag)
+	}
+	sort.Strings(tags)
 	var sum float64
-	for _, c := range m.perTag {
+	for _, tag := range tags {
+		c := m.perTag[tag]
 		var p, r float64
 		if c.tp+c.fp > 0 {
 			p = c.tp / (c.tp + c.fp)

@@ -75,6 +75,14 @@ type Config struct {
 	PACE   pace.Config
 	// Seed drives everything.
 	Seed int64
+	// Parallel is the worker count for the run's CPU-bound phases — each
+	// peer's local SVM training, the coordinator's per-tag training, and
+	// CEMPaR's per-tag regional cascades — which are independent jobs off
+	// the virtual clock. Only the protocol message exchange stays
+	// single-threaded on the simulated network. 1 means serial; other
+	// values <= 0 mean GOMAXPROCS. Results are bit-identical at any
+	// worker count.
+	Parallel int
 	// Logf, when set, receives the simulator's per-event activity log
 	// (message drops, node failures/recoveries) — the "Log activities"
 	// feature of the toolkit.
@@ -234,6 +242,9 @@ func RunWithData(cfg Config, corpus *dataset.Corpus, train, test []dataset.Docum
 		if cem.Seed == 0 {
 			cem.Seed = cfg.Seed + 505
 		}
+		if cem.Parallel == 0 {
+			cem.Parallel = cfg.Parallel
+		}
 		// CEMPaR needs the DHT to exist first, and the DHT needs the app
 		// handler; tie the knot with a late-bound closure.
 		var s *cempar.System
@@ -254,6 +265,9 @@ func RunWithData(cfg Config, corpus *dataset.Corpus, train, test []dataset.Docum
 		if pc.Seed == 0 {
 			pc.Seed = cfg.Seed + 606
 		}
+		if pc.Parallel == 0 {
+			pc.Parallel = cfg.Parallel
+		}
 		s := pace.New(net, ids, pc)
 		for i, docs := range perPeer {
 			s.SetDocs(ids[i], docs)
@@ -261,7 +275,7 @@ func RunWithData(cfg Config, corpus *dataset.Corpus, train, test []dataset.Docum
 		clf = s
 	case ProtoCentralized:
 		s := baseline.NewCentralized(net, ids, baseline.CentralizedConfig{
-			Coordinator: ids[0], Seed: cfg.Seed + 707,
+			Coordinator: ids[0], Seed: cfg.Seed + 707, Parallel: cfg.Parallel,
 		})
 		for i, docs := range perPeer {
 			s.SetDocs(ids[i], docs)
@@ -269,6 +283,7 @@ func RunWithData(cfg Config, corpus *dataset.Corpus, train, test []dataset.Docum
 		clf = s
 	case ProtoLocal:
 		s := baseline.NewLocal(net, ids, 1, cfg.Seed+808)
+		s.Parallel = cfg.Parallel
 		for i, docs := range perPeer {
 			s.SetDocs(ids[i], docs)
 		}

@@ -74,6 +74,38 @@ func TestRunDeterministic(t *testing.T) {
 	}
 }
 
+// TestRunParallelMatchesSerial is the determinism contract of the parallel
+// training phases: for every protocol, a run whose CPU-bound work fans out
+// over many workers must be bit-identical to a fully serial run of the
+// same config.
+func TestRunParallelMatchesSerial(t *testing.T) {
+	for _, proto := range []ProtocolKind{ProtoLocal, ProtoCentralized, ProtoPACE, ProtoCEMPaR} {
+		serialCfg := fastConfig(proto)
+		serialCfg.Parallel = 1
+		serial, err := Run(serialCfg)
+		if err != nil {
+			t.Fatalf("%s serial: %v", proto, err)
+		}
+		parallelCfg := fastConfig(proto)
+		parallelCfg.Parallel = 8
+		parallel, err := Run(parallelCfg)
+		if err != nil {
+			t.Fatalf("%s parallel: %v", proto, err)
+		}
+		if serial.String() != parallel.String() {
+			t.Errorf("%s diverged:\nserial:   %s\nparallel: %s", proto, serial, parallel)
+		}
+		if serial.Eval.MicroF1() != parallel.Eval.MicroF1() ||
+			serial.Eval.MacroF1() != parallel.Eval.MacroF1() ||
+			serial.MeanP1 != parallel.MeanP1 ||
+			serial.TrainCost != parallel.TrainCost ||
+			serial.QueryCost != parallel.QueryCost ||
+			serial.TrainSimTime != parallel.TrainSimTime {
+			t.Errorf("%s: parallel run not bit-identical to serial", proto)
+		}
+	}
+}
+
 func TestRunUnknownProtocol(t *testing.T) {
 	cfg := fastConfig("nope")
 	if _, err := Run(cfg); err == nil {

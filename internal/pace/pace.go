@@ -18,6 +18,7 @@ import (
 	"repro/internal/lsh"
 	"repro/internal/metrics"
 	"repro/internal/protocol"
+	"repro/internal/runner"
 	"repro/internal/simnet"
 	"repro/internal/svm"
 	"repro/internal/vector"
@@ -50,6 +51,12 @@ type Config struct {
 	NoiseScale float64
 	// Seed drives training, clustering and hashing.
 	Seed int64
+	// Parallel is the worker count for Fit's local-training phase: each
+	// peer trains and clusters its own shard, so peers fan out over real
+	// cores while the model broadcast stays on the virtual clock. 1 means
+	// serial; other values <= 0 mean GOMAXPROCS. The result is
+	// bit-identical at any worker count.
+	Parallel int
 }
 
 func (c *Config) defaults() {
@@ -174,13 +181,22 @@ func (s *System) Name() string { return "PACE" }
 
 // Fit trains local models and centroids at every alive peer and broadcasts
 // them to all other alive peers. Run the network to complete delivery.
+//
+// Per-peer training is pure CPU work on the peer's own shard (no network,
+// no virtual clock), so peers train concurrently over cfg.Parallel
+// workers; the broadcast then runs serially in peer order, producing
+// exactly the message schedule of a serial Fit.
 func (s *System) Fit() {
+	var alive []simnet.NodeID
 	for _, id := range s.order {
-		if !s.net.Alive(id) {
-			continue
+		if s.net.Alive(id) {
+			alive = append(alive, id)
 		}
-		s.trainLocal(id)
 	}
+	_ = runner.ForEach(len(alive), s.cfg.Parallel, func(i int) error {
+		s.trainLocal(alive[i])
+		return nil
+	})
 	for _, id := range s.order {
 		p := s.peers[id]
 		if !s.net.Alive(id) || p.own == nil {

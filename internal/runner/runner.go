@@ -1,0 +1,133 @@
+// Package runner is the deterministic parallel execution subsystem of the
+// reproduction: it fans independent jobs — experiment cells, per-peer SVM
+// training, batch preprocessing — out over a bounded worker pool and hands
+// the results back in submission order, so parallel execution is
+// byte-identical to a serial run.
+//
+// The determinism contract has three legs:
+//
+//  1. Jobs must be independent: a job may not read state another job
+//     writes. Experiment cells satisfy this by construction (each builds
+//     its own simulated network from its own seed); per-peer training
+//     satisfies it because every peer trains only on its own shard.
+//  2. Results are collected positionally. Workers race, but the caller
+//     observes results only through the index-ordered slice Map returns.
+//  3. Randomness is derived, never shared: a job that needs a seed gets it
+//     from DeriveSeed(base, coordinates...), a pure function of the job's
+//     identity, so neither scheduling order nor worker count can leak into
+//     any job's random stream.
+package runner
+
+import (
+	"hash/fnv"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a requested parallelism level: values >= 1 are honored
+// as-is (1 means serial execution), anything else defaults to
+// runtime.GOMAXPROCS(0), the number of usable cores.
+func Workers(parallel int) int {
+	if parallel >= 1 {
+		return parallel
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// DeriveSeed mixes a base seed with a job's coordinates (experiment id,
+// sweep variable, trial index — any strings identifying the cell) into an
+// independent 63-bit seed. Two cells differing in any coordinate get
+// unrelated seeds; the same coordinates always reproduce the same seed.
+// The mix is FNV-1a over the coordinates finished with the SplitMix64
+// avalanche, so adjacent base seeds do not produce correlated streams.
+func DeriveSeed(base int64, coords ...string) int64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	putUint64(&buf, uint64(base))
+	h.Write(buf[:])
+	for _, c := range coords {
+		h.Write([]byte(c))
+		h.Write([]byte{0}) // separator: ("ab","c") != ("a","bc")
+	}
+	z := h.Sum64()
+	// SplitMix64 finalizer.
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	seed := int64(z &^ (1 << 63)) // keep it positive: callers add offsets
+	if seed == 0 {
+		seed = 1 // zero seeds mean "use the default" throughout the repo
+	}
+	return seed
+}
+
+func putUint64(buf *[8]byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(v >> (8 * i))
+	}
+}
+
+// Map runs fn(i) for every i in [0,n) over min(Workers(parallel), n)
+// workers and returns the results in index order. Every job runs even when
+// an earlier one fails — at any worker count, serial included — because
+// jobs are independent and worker count must never change observable
+// behavior; the returned error is the lowest-index job's error.
+func Map[T any](n, parallel int, fn func(i int) (T, error)) ([]T, error) {
+	results := make([]T, n)
+	if n == 0 {
+		return results, nil
+	}
+	errs := make([]error, n)
+	workers := Workers(parallel)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		// Same contract as the parallel path: every job runs, the
+		// lowest-index error is reported. Worker count must never change
+		// observable behavior, side effects included.
+		for i := 0; i < n; i++ {
+			results[i], errs[i] = fn(i)
+		}
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+		return results, nil
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				results[i], errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// ForEach is Map for side-effect-only jobs: fn(i) runs for every i in
+// [0,n) over the pool, and the lowest-index error is returned.
+func ForEach(n, parallel int, fn func(i int) error) error {
+	_, err := Map(n, parallel, func(i int) (struct{}, error) {
+		return struct{}{}, fn(i)
+	})
+	return err
+}

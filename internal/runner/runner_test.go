@@ -1,0 +1,117 @@
+package runner
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapOrdersResults(t *testing.T) {
+	for _, parallel := range []int{1, 2, 8, 0} {
+		got, err := Map(100, parallel, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatalf("parallel=%d: %v", parallel, err)
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("parallel=%d: got[%d] = %d, want %d", parallel, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	got, err := Map(0, 8, func(i int) (int, error) { t.Fatal("job ran"); return 0, nil })
+	if err != nil || len(got) != 0 {
+		t.Fatalf("got %v, %v", got, err)
+	}
+}
+
+func TestMapReturnsLowestIndexError(t *testing.T) {
+	wantErr := errors.New("job 3 failed")
+	for _, parallel := range []int{1, 8} {
+		_, err := Map(10, parallel, func(i int) (int, error) {
+			if i == 7 {
+				return 0, errors.New("job 7 failed")
+			}
+			if i == 3 {
+				return 0, wantErr
+			}
+			return i, nil
+		})
+		if !errors.Is(err, wantErr) {
+			t.Fatalf("parallel=%d: err = %v, want lowest-index error %v", parallel, err, wantErr)
+		}
+	}
+}
+
+func TestMapRunsEveryJobPastFailures(t *testing.T) {
+	for _, parallel := range []int{1, 4} {
+		var ran atomic.Int64
+		_, err := Map(50, parallel, func(i int) (int, error) {
+			ran.Add(1)
+			if i%10 == 0 {
+				return 0, fmt.Errorf("fail %d", i)
+			}
+			return i, nil
+		})
+		if err == nil {
+			t.Fatal("expected an error")
+		}
+		if got := ran.Load(); got != 50 {
+			t.Fatalf("parallel=%d: ran %d jobs, want all 50 (worker count must not change side effects)", parallel, got)
+		}
+	}
+}
+
+func TestForEach(t *testing.T) {
+	var sum atomic.Int64
+	if err := ForEach(100, 0, func(i int) error {
+		sum.Add(int64(i))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if sum.Load() != 4950 {
+		t.Fatalf("sum = %d", sum.Load())
+	}
+}
+
+func TestWorkers(t *testing.T) {
+	if Workers(3) != 3 || Workers(1) != 1 {
+		t.Fatal("explicit worker counts must be honored")
+	}
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(0) = %d, want GOMAXPROCS", got)
+	}
+	if got := Workers(-5); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(-5) = %d, want GOMAXPROCS", got)
+	}
+}
+
+func TestDeriveSeedProperties(t *testing.T) {
+	a := DeriveSeed(42, "E1", "cempar", "8")
+	if a != DeriveSeed(42, "E1", "cempar", "8") {
+		t.Fatal("DeriveSeed must be a pure function")
+	}
+	if a <= 0 {
+		t.Fatalf("seed %d not positive", a)
+	}
+	seen := map[int64]string{a: "base"}
+	for _, d := range []struct {
+		name string
+		seed int64
+	}{
+		{"different base", DeriveSeed(43, "E1", "cempar", "8")},
+		{"different coord", DeriveSeed(42, "E1", "cempar", "16")},
+		{"fewer coords", DeriveSeed(42, "E1", "cempar")},
+		{"shifted boundary", DeriveSeed(42, "E1c", "empar", "8")},
+	}{
+		if prev, dup := seen[d.seed]; dup {
+			t.Fatalf("%s collides with %s (seed %d)", d.name, prev, d.seed)
+		}
+		seen[d.seed] = d.name
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"sync"
 	"unicode"
 
+	"repro/internal/runner"
 	"repro/internal/vector"
 )
 
@@ -237,7 +238,12 @@ func (p *Preprocessor) Terms(text string) []string {
 // lexicon ids as needed (or hashing, when HashDim is set) and updating
 // document-frequency statistics.
 func (p *Preprocessor) Vectorize(text string) *vector.Sparse {
-	terms := p.Terms(text)
+	return p.vectorizeTerms(p.Terms(text))
+}
+
+// vectorizeTerms is the serial tail of Vectorize: lexicon id assignment,
+// document-frequency bookkeeping, weighting and normalization.
+func (p *Preprocessor) vectorizeTerms(terms []string) *vector.Sparse {
 	counts := make(map[int32]float64, len(terms))
 	for _, t := range terms {
 		counts[p.featureID(t)]++
@@ -284,11 +290,26 @@ func (p *Preprocessor) featureID(term string) int32 {
 	return p.lexicon.ID(term)
 }
 
-// VectorizeAll maps Vectorize over texts.
+// VectorizeAll maps Vectorize over texts serially.
 func (p *Preprocessor) VectorizeAll(texts []string) []*vector.Sparse {
+	return p.VectorizeBatch(texts, 1)
+}
+
+// VectorizeBatch vectorizes texts with the term-extraction stage
+// (tokenize, filter, stem — the bulk of preprocessing cost) fanned out
+// over parallel workers (see runner.Workers for the convention), while
+// lexicon id assignment and document-frequency updates run serially in
+// input order. The returned vectors are identical to calling Vectorize on
+// each text in order, at any worker count: term extraction is a pure
+// function of the text, and everything order-sensitive (new-word id
+// assignment, docFreq/IDF accumulation) stays sequential.
+func (p *Preprocessor) VectorizeBatch(texts []string, parallel int) []*vector.Sparse {
+	terms, _ := runner.Map(len(texts), parallel, func(i int) ([]string, error) {
+		return p.Terms(texts[i]), nil
+	})
 	out := make([]*vector.Sparse, len(texts))
-	for i, t := range texts {
-		out[i] = p.Vectorize(t)
+	for i := range texts {
+		out[i] = p.vectorizeTerms(terms[i])
 	}
 	return out
 }
