@@ -15,6 +15,7 @@ package doctagger_test
 // -bench=BenchmarkE1 etc.
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"sync"
@@ -250,23 +251,27 @@ func BenchmarkParallelSpeedup(b *testing.B) {
 	}
 }
 
-// BenchmarkTaggerSuggest measures the latency of one suggestion query on a
-// trained swarm — the interactive cost a demo visitor would feel clicking
-// "Suggest Tag".
-func BenchmarkTaggerSuggest(b *testing.B) {
+// benchTagger builds one trained 8-peer CEMPaR swarm on a small two-topic
+// corpus; repeated calls yield identically trained instances, which is what
+// the serving pool requires of its shards.
+func benchTagger(b *testing.B) *doctagger.Tagger {
+	b.Helper()
 	tg, err := doctagger.New(doctagger.Config{Protocol: doctagger.ProtocolCEMPaR, Peers: 8, Regions: 2, Seed: 1})
 	if err != nil {
 		b.Fatal(err)
 	}
-	texts := map[string][]string{
-		"music":  {"guitar melody chord song album track", "piano concert symphony orchestra"},
-		"travel": {"flight hotel passport beach island", "train station luggage itinerary map"},
+	texts := []struct {
+		tag  string
+		docs []string
+	}{
+		{"music", []string{"guitar melody chord song album track", "piano concert symphony orchestra"}},
+		{"travel", []string{"flight hotel passport beach island", "train station luggage itinerary map"}},
 	}
 	peer := 0
-	for tag, ts := range texts {
-		for _, text := range ts {
+	for _, topic := range texts {
+		for _, text := range topic.docs {
 			for rep := 0; rep < 3; rep++ {
-				if err := tg.AddDocument(peer%8, text, tag); err != nil {
+				if err := tg.AddDocument(peer%8, text, topic.tag); err != nil {
 					b.Fatal(err)
 				}
 				peer++
@@ -276,10 +281,89 @@ func BenchmarkTaggerSuggest(b *testing.B) {
 	if err := tg.Train(); err != nil {
 		b.Fatal(err)
 	}
+	return tg
+}
+
+// BenchmarkTaggerSuggest measures the latency of one suggestion query on a
+// trained swarm — the interactive cost a demo visitor would feel clicking
+// "Suggest Tag".
+func BenchmarkTaggerSuggest(b *testing.B) {
+	tg := benchTagger(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := tg.Suggest("a new album with a guitar melody"); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+var servingQueries = []string{
+	"a new album with a soft piano melody",
+	"booking a flight and a hotel for the island",
+	"drum track with a heavy bass rhythm",
+	"train luggage on the station platform",
+	"a symphony concert at the city hall",
+	"passport and itinerary for the beach",
+}
+
+// runServingClients spreads b.N tagging calls over the given number of
+// concurrent client goroutines, each cycling through the query mix.
+func runServingClients(b *testing.B, clients int, tag func(q string) error) {
+	b.Helper()
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		share := b.N / clients
+		if c < b.N%clients {
+			share++
+		}
+		wg.Add(1)
+		go func(c, share int) {
+			defer wg.Done()
+			for r := 0; r < share; r++ {
+				if err := tag(servingQueries[(c+r)%len(servingQueries)]); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}(c, share)
+	}
+	wg.Wait()
+}
+
+// BenchmarkServing compares the two ways to put a trained swarm behind
+// concurrent clients: "serial" funnels every request one at a time through
+// a mutex-guarded Tagger (the baseline a naive service would ship), while
+// "batched" goes through the doctagger.Server micro-batching pool. The
+// batched variant also reports the mean batch size its dispatcher observed
+// — the quantity that explains the throughput gap.
+func BenchmarkServing(b *testing.B) {
+	for _, clients := range []int{1, 8, 64} {
+		b.Run(fmt.Sprintf("serial/clients=%d", clients), func(b *testing.B) {
+			tg := benchTagger(b)
+			var mu sync.Mutex
+			b.ResetTimer()
+			runServingClients(b, clients, func(q string) error {
+				mu.Lock()
+				defer mu.Unlock()
+				_, err := tg.AutoTag(q)
+				return err
+			})
+		})
+		b.Run(fmt.Sprintf("batched/clients=%d", clients), func(b *testing.B) {
+			srv, err := doctagger.NewReplicatedServer(2, doctagger.ServerConfig{},
+				func(int) (*doctagger.Tagger, error) { return benchTagger(b), nil })
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer srv.Close()
+			ctx := context.Background()
+			b.ResetTimer()
+			runServingClients(b, clients, func(q string) error {
+				_, err := srv.Tag(ctx, q)
+				return err
+			})
+			b.StopTimer()
+			b.ReportMetric(srv.Stats().MeanBatchSize, "batchsize")
+		})
 	}
 }

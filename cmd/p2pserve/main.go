@@ -1,0 +1,347 @@
+// Command p2pserve is the serving face of the system: it trains a sharded
+// pool of identical tagger swarms over a synthetic delicious-style corpus
+// and serves AutoTag queries over HTTP/JSON through the micro-batching
+// front-end (doctagger.Server). Concurrent requests coalesce into
+// AutoTagBatch calls; /v1/stats shows how well.
+//
+// Endpoints:
+//
+//	POST /v1/tag     {"text": "..."} -> {"tags": ["...", ...]}
+//	GET  /v1/stats   serving counters + aggregate swarm traffic
+//	GET  /healthz    liveness probe
+//
+// SIGINT/SIGTERM drain gracefully: the listener stops accepting, in-flight
+// and queued requests are answered, then the process exits.
+//
+// The built-in load generator benchmarks the same pool in-process without
+// HTTP overhead:
+//
+//	p2pserve -loadgen -clients 1,8,64 -requests 256 -json BENCH_serving.json
+//
+// runs the request mix at each concurrency level and reports throughput
+// and the observed batching, optionally as a JSON artifact.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	doctagger "repro"
+)
+
+type options struct {
+	addr      string
+	protocol  string
+	peers     int
+	shards    int
+	seed      int64
+	threshold float64
+	docsMin   int
+	docsMax   int
+	numTags   int
+	maxBatch  int
+	maxDelay  time.Duration
+	maxQueue  int
+	failFast  bool
+
+	loadgen  bool
+	clients  string
+	requests int
+	jsonPath string
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("p2pserve: ")
+	var o options
+	flag.StringVar(&o.addr, "addr", ":8473", "HTTP listen address")
+	flag.StringVar(&o.protocol, "protocol", "cempar", "cempar | pace | centralized | local")
+	flag.IntVar(&o.peers, "peers", 8, "swarm size per shard")
+	flag.IntVar(&o.shards, "shards", 2, "identically trained tagger swarms in the pool")
+	flag.Int64Var(&o.seed, "seed", 1, "corpus and swarm seed")
+	flag.Float64Var(&o.threshold, "threshold", 0.5, "confidence threshold for auto-tagging (0 accepts every tag)")
+	flag.IntVar(&o.docsMin, "docs-min", 8, "minimum training documents per peer")
+	flag.IntVar(&o.docsMax, "docs-max", 12, "maximum training documents per peer")
+	flag.IntVar(&o.numTags, "tags", 8, "size of the synthetic tag universe")
+	flag.IntVar(&o.maxBatch, "max-batch", 32, "flush a batch at this many requests")
+	flag.DurationVar(&o.maxDelay, "max-delay", 2*time.Millisecond, "flush a batch this long after its first request")
+	flag.IntVar(&o.maxQueue, "max-queue", 0, "submission queue bound (0 = 8*max-batch)")
+	flag.BoolVar(&o.failFast, "fail-fast", false, "reject with 503 when the queue is full instead of blocking")
+	flag.BoolVar(&o.loadgen, "loadgen", false, "run the in-process load generator instead of serving HTTP")
+	flag.StringVar(&o.clients, "clients", "1,8,64", "loadgen: comma-separated concurrency levels")
+	flag.IntVar(&o.requests, "requests", 256, "loadgen: requests per concurrency level")
+	flag.StringVar(&o.jsonPath, "json", "", "loadgen: write results to this JSON file")
+	flag.Parse()
+
+	if err := run(o); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(o options) error {
+	log.Printf("training %d shard(s): %s, %d peers each ...", o.shards, o.protocol, o.peers)
+	start := time.Now()
+	pool, queries, err := buildPool(o)
+	if err != nil {
+		return err
+	}
+	log.Printf("pool ready in %v", time.Since(start).Round(time.Millisecond))
+	if o.loadgen {
+		defer pool.Close()
+		return runLoadgen(pool, queries, o)
+	}
+	return serveHTTP(pool, o)
+}
+
+// buildPool trains o.shards identical tagger swarms over one synthetic
+// corpus and returns them as a serving pool, along with the corpus's test
+// documents for load generation.
+func buildPool(o options) (*doctagger.Server, []string, error) {
+	docs, _, err := doctagger.GenerateCorpus(doctagger.CorpusConfig{
+		Users:          o.peers,
+		DocsPerUserMin: o.docsMin,
+		DocsPerUserMax: o.docsMax,
+		NumTags:        o.numTags,
+		Seed:           o.seed,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	train, test := doctagger.SplitCorpus(docs, 0.5, o.seed)
+	// On the flag, 0 literally means "accept every tag"; translate to the
+	// Config sentinel, which reserves 0 for "use the default".
+	threshold := o.threshold
+	if threshold == 0 {
+		threshold = doctagger.ThresholdNone
+	}
+	build := func(int) (*doctagger.Tagger, error) {
+		tg, err := doctagger.New(doctagger.Config{
+			Protocol:  o.protocol,
+			Peers:     o.peers,
+			Threshold: threshold,
+			Seed:      o.seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		for _, d := range train {
+			if err := tg.AddDocument(d.User%o.peers, d.Text, d.Tags...); err != nil {
+				return nil, err
+			}
+		}
+		return tg, tg.Train()
+	}
+	pool, err := doctagger.NewReplicatedServer(o.shards, doctagger.ServerConfig{
+		MaxBatch: o.maxBatch,
+		MaxDelay: o.maxDelay,
+		MaxQueue: o.maxQueue,
+		FailFast: o.failFast,
+	}, build)
+	if err != nil {
+		return nil, nil, err
+	}
+	queries := make([]string, 0, len(test))
+	for _, d := range test {
+		queries = append(queries, d.Text)
+	}
+	return pool, queries, nil
+}
+
+// newMux wires the HTTP API around a pool.
+func newMux(pool *doctagger.Server) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/tag", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Text string `json:"text"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+			return
+		}
+		if strings.TrimSpace(req.Text) == "" {
+			httpError(w, http.StatusBadRequest, errors.New("empty text"))
+			return
+		}
+		tags, err := pool.Tag(r.Context(), req.Text)
+		if err != nil {
+			switch {
+			case errors.Is(err, doctagger.ErrOverloaded), errors.Is(err, doctagger.ErrServerClosed):
+				httpError(w, http.StatusServiceUnavailable, err)
+			case errors.Is(err, doctagger.ErrNoAnswer):
+				httpError(w, http.StatusBadGateway, err)
+			case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+				// The client went away; nothing useful to write.
+				httpError(w, http.StatusServiceUnavailable, err)
+			default:
+				httpError(w, http.StatusInternalServerError, err)
+			}
+			return
+		}
+		if tags == nil {
+			tags = []string{}
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"tags": tags})
+	})
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, pool.Stats())
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+// serveHTTP runs the API until SIGINT/SIGTERM, then drains: the listener
+// shuts down first, the pool second, so every accepted request is
+// answered.
+func serveHTTP(pool *doctagger.Server, o options) error {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	srv := &http.Server{Addr: o.addr, Handler: newMux(pool)}
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("listening on %s", o.addr)
+		if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			errc <- err
+			return
+		}
+		errc <- nil
+	}()
+	select {
+	case err := <-errc:
+		pool.Close()
+		return err
+	case <-ctx.Done():
+	}
+	log.Print("shutting down: draining in-flight requests ...")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("http shutdown: %w", err)
+	}
+	pool.Close()
+	st := pool.Stats()
+	log.Printf("drained: served %d requests in %d batches (mean batch %.2f)",
+		st.Served, st.Batches, st.MeanBatchSize)
+	return <-errc
+}
+
+// loadgenRun is one concurrency level's result.
+type loadgenRun struct {
+	Clients       int     `json:"clients"`
+	Requests      int64   `json:"requests"`
+	Errors        int64   `json:"errors"`
+	Seconds       float64 `json:"seconds"`
+	RequestsPerS  float64 `json:"rps"`
+	Batches       int64   `json:"batches"`
+	MeanBatchSize float64 `json:"mean_batch_size"`
+	MeanWaitUS    float64 `json:"mean_queue_wait_us"`
+}
+
+// runLoadgen fires o.requests tagging requests at the pool from each
+// configured number of concurrent clients, reporting throughput and the
+// batching observed by the dispatcher's own counters (as deltas, since the
+// pool's counters are cumulative).
+func runLoadgen(pool *doctagger.Server, queries []string, o options) error {
+	if len(queries) == 0 {
+		return errors.New("loadgen: no test queries")
+	}
+	var levels []int
+	for _, f := range strings.Split(o.clients, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 1 {
+			return fmt.Errorf("loadgen: bad -clients entry %q", f)
+		}
+		levels = append(levels, n)
+	}
+	var runs []loadgenRun
+	for _, clients := range levels {
+		before := pool.Stats()
+		start := time.Now()
+		var wg sync.WaitGroup
+		for c := 0; c < clients; c++ {
+			share := o.requests / clients
+			if c < o.requests%clients {
+				share++
+			}
+			wg.Add(1)
+			go func(c, share int) {
+				defer wg.Done()
+				for r := 0; r < share; r++ {
+					// Ignore per-request errors here; the stats deltas
+					// report them.
+					_, _ = pool.Tag(context.Background(), queries[(c+r*clients)%len(queries)])
+				}
+			}(c, share)
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		after := pool.Stats()
+		run := loadgenRun{
+			Clients:  clients,
+			Requests: after.Served - before.Served,
+			Errors:   after.Errors - before.Errors,
+			Seconds:  elapsed.Seconds(),
+			Batches:  after.Batches - before.Batches,
+		}
+		if run.Seconds > 0 {
+			run.RequestsPerS = float64(run.Requests) / run.Seconds
+		}
+		if run.Batches > 0 {
+			run.MeanBatchSize = float64(after.BatchedDocs-before.BatchedDocs) / float64(run.Batches)
+		}
+		if run.Requests > 0 {
+			run.MeanWaitUS = float64((after.QueueWaitTotal - before.QueueWaitTotal).Microseconds()) / float64(run.Requests)
+		}
+		runs = append(runs, run)
+		log.Printf("clients=%-3d  %6.0f req/s  mean batch %5.2f  mean wait %6.0fµs  errors %d",
+			clients, run.RequestsPerS, run.MeanBatchSize, run.MeanWaitUS, run.Errors)
+	}
+	if o.jsonPath != "" {
+		payload := map[string]any{
+			"benchmark": "p2pserve-loadgen",
+			"protocol":  o.protocol,
+			"peers":     o.peers,
+			"shards":    o.shards,
+			"max_batch": o.maxBatch,
+			// Largest batch dispatched across all levels (the pool's
+			// counter is cumulative, so it cannot be reported per level).
+			"max_batch_seen": pool.Stats().MaxBatchSeen,
+			"runs":           runs,
+		}
+		data, err := json.MarshalIndent(payload, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(o.jsonPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		log.Printf("wrote %s", o.jsonPath)
+	}
+	return nil
+}

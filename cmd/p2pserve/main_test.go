@@ -1,0 +1,176 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	doctagger "repro"
+)
+
+func testOptions() options {
+	return options{
+		protocol: "cempar",
+		peers:    4,
+		shards:   2,
+		seed:     3,
+		docsMin:  4,
+		docsMax:  6,
+		numTags:  4,
+		maxBatch: 8,
+		maxDelay: time.Millisecond,
+	}
+}
+
+func newTestServer(t *testing.T) (*httptest.Server, *doctagger.Server, []string) {
+	t.Helper()
+	pool, queries, err := buildPool(testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(newMux(pool))
+	t.Cleanup(func() {
+		ts.Close()
+		pool.Close()
+	})
+	return ts, pool, queries
+}
+
+func TestTagEndpoint(t *testing.T) {
+	ts, pool, queries := newTestServer(t)
+	body, _ := json.Marshal(map[string]string{"text": queries[0]})
+	resp, err := http.Post(ts.URL+"/v1/tag", "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var got struct {
+		Tags []string `json:"tags"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Tags) == 0 {
+		t.Error("no tags returned")
+	}
+	if st := pool.Stats(); st.Served != 1 {
+		t.Errorf("served = %d, want 1", st.Served)
+	}
+}
+
+func TestTagEndpointRejectsBadInput(t *testing.T) {
+	ts, _, _ := newTestServer(t)
+	for _, body := range []string{"not json", `{"text": ""}`, `{"text": "   "}`} {
+		resp, err := http.Post(ts.URL+"/v1/tag", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("body %q: status = %d, want 400", body, resp.StatusCode)
+		}
+	}
+	// Wrong method on a method-qualified pattern.
+	resp, err := http.Get(ts.URL + "/v1/tag")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/tag status = %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestHealthAndStatsEndpoints(t *testing.T) {
+	ts, _, queries := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz status = %d", resp.StatusCode)
+	}
+	body, _ := json.Marshal(map[string]string{"text": queries[0]})
+	if resp, err = http.Post(ts.URL+"/v1/tag", "application/json", strings.NewReader(string(body))); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	resp, err = http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st doctagger.ServerStats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Shards != 2 || st.Served < 1 || st.Network.Messages == 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+// TestTagAfterCloseReturns503 pins the drain contract at the HTTP layer:
+// once the pool is closed, new requests get Service Unavailable rather
+// than a hang or a 500.
+func TestTagAfterCloseReturns503(t *testing.T) {
+	ts, pool, queries := newTestServer(t)
+	pool.Close()
+	body, _ := json.Marshal(map[string]string{"text": queries[0]})
+	resp, err := http.Post(ts.URL+"/v1/tag", "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("status = %d, want 503", resp.StatusCode)
+	}
+}
+
+// TestLoadgenWritesJSON runs the in-process load generator at two small
+// concurrency levels and checks the artifact it writes.
+func TestLoadgenWritesJSON(t *testing.T) {
+	o := testOptions()
+	o.loadgen = true
+	o.clients = "1,8"
+	o.requests = 32
+	o.jsonPath = t.TempDir() + "/bench.json"
+	pool, queries, err := buildPool(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	if err := runLoadgen(pool, queries, o); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(o.jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var payload struct {
+		Benchmark string       `json:"benchmark"`
+		Runs      []loadgenRun `json:"runs"`
+	}
+	if err := json.Unmarshal(raw, &payload); err != nil {
+		t.Fatal(err)
+	}
+	if payload.Benchmark != "p2pserve-loadgen" || len(payload.Runs) != 2 {
+		t.Fatalf("payload = %+v", payload)
+	}
+	for _, r := range payload.Runs {
+		if r.Requests != 32 || r.RequestsPerS <= 0 {
+			t.Errorf("run = %+v", r)
+		}
+	}
+	// The 8-client run must show real coalescing.
+	if payload.Runs[1].MeanBatchSize <= 1 {
+		t.Errorf("8 clients: mean batch %.2f, want > 1", payload.Runs[1].MeanBatchSize)
+	}
+}

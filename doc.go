@@ -56,4 +56,19 @@
 // internal/experiments/determinism_test.go, TestRunParallelMatchesSerial,
 // TestAutoTagBatchMatchesSerial) and the suite is race-clean under
 // "go test -race ./...".
+//
+// # Serving
+//
+// A Tagger is not safe for concurrent use; a Server is. Server (backed by
+// internal/serving) turns a pool of identically trained Taggers into a
+// concurrent serving front-end: goroutines submit single documents with
+// Tag, a micro-batching dispatcher coalesces them — flushing at MaxBatch
+// requests or MaxDelay after the first, whichever comes first — and fans
+// the batches over the shard pool with one goroutine per shard, bounded
+// queueing for backpressure, per-request error propagation and a graceful
+// drain on Close. Batched answers are exactly what serial AutoTag calls
+// would return for the same inputs; the Stats snapshot (batch counts,
+// batch-size histogram, queue waits, aggregate swarm traffic) shows what
+// the batching bought. See ExampleServer, and cmd/p2pserve for the
+// HTTP/JSON face of the same layer.
 package doctagger

@@ -24,6 +24,19 @@ const (
 	ProtocolLocal       = "local"
 )
 
+// Sentinels for Config fields whose useful "off" setting collides with the
+// Go zero value (which keeps the paper's default). They are resolved — and
+// out-of-range values rejected — by New.
+const (
+	// ThresholdNone requests an explicit confidence threshold of 0: every
+	// tag the swarm knows clears the bar (Config.Threshold == 0 keeps the
+	// default of 0.5 instead).
+	ThresholdNone = -1.0
+	// MaxTagsUnlimited removes the per-document tag cap
+	// (Config.MaxTags == 0 keeps the default of 4 instead).
+	MaxTagsUnlimited = -1
+)
+
 // Config configures a Tagger. The zero value selects CEMPaR over 16 peers
 // with the paper's defaults.
 type Config struct {
@@ -34,9 +47,13 @@ type Config struct {
 	// default 16.
 	Peers int
 	// Threshold is the confidence needed to auto-assign a tag — the
-	// "Confidence" slider of the demo UI; default 0.5.
+	// "Confidence" slider of the demo UI. 0 means the default of 0.5; pass
+	// ThresholdNone for an explicit threshold of 0. Other values must lie
+	// in (0, 1]; New rejects anything else.
 	Threshold float64
-	// MaxTags caps tags per document; default 4.
+	// MaxTags caps tags per document. 0 means the default of 4; pass
+	// MaxTagsUnlimited for no cap. Other negative values are rejected by
+	// New.
 	MaxTags int
 	// SensitiveWords are filtered from every document before feature
 	// extraction (the privacy filter of §2).
@@ -68,11 +85,21 @@ func (c *Config) defaults() error {
 	if c.Peers <= 0 {
 		c.Peers = 16
 	}
-	if c.Threshold == 0 {
+	switch {
+	case c.Threshold == ThresholdNone:
+		c.Threshold = 0
+	case c.Threshold == 0:
 		c.Threshold = 0.5
+	case c.Threshold < 0 || c.Threshold > 1:
+		return fmt.Errorf("doctagger: Threshold %v outside [0,1] (use ThresholdNone for an explicit 0)", c.Threshold)
 	}
-	if c.MaxTags == 0 {
+	switch {
+	case c.MaxTags == MaxTagsUnlimited:
+		// Kept as-is: tag selection treats a non-positive cap as "no cap".
+	case c.MaxTags == 0:
 		c.MaxTags = 4
+	case c.MaxTags < 0:
+		return fmt.Errorf("doctagger: MaxTags %d is negative (use MaxTagsUnlimited for no cap)", c.MaxTags)
 	}
 	if c.Regions == 0 {
 		// Small swarms pool better with fewer, larger regions.
@@ -328,7 +355,8 @@ func (t *Tagger) Refine(text string, tags ...string) error {
 	return nil
 }
 
-// SetThreshold moves the confidence slider.
+// SetThreshold moves the confidence slider. Unlike Config.Threshold, the
+// value is literal: 0 means "accept every tag", no sentinel needed.
 func (t *Tagger) SetThreshold(th float64) { t.cfg.Threshold = th }
 
 // Threshold reports the current confidence threshold.

@@ -2,6 +2,7 @@ package doctagger
 
 import (
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -44,6 +45,48 @@ func TestNewValidation(t *testing.T) {
 	}
 	if tg.Protocol() != "CEMPaR" {
 		t.Errorf("default protocol = %q", tg.Protocol())
+	}
+}
+
+func TestConfigSentinels(t *testing.T) {
+	// Out-of-range values are rejected instead of silently accepted.
+	for _, cfg := range []Config{
+		{Threshold: -0.5},
+		{Threshold: 1.5},
+		{MaxTags: -2},
+	} {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("New(%+v) accepted an out-of-range value", cfg)
+		}
+	}
+	// Zero values keep the paper defaults.
+	tg, err := New(Config{Peers: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tg.Threshold() != 0.5 || tg.cfg.MaxTags != 4 {
+		t.Errorf("defaults = threshold %v, maxTags %d", tg.Threshold(), tg.cfg.MaxTags)
+	}
+	// The sentinels request what the zero value cannot: threshold 0 and no
+	// tag cap.
+	tg, err = New(Config{Peers: 4, Seed: 1, Threshold: ThresholdNone, MaxTags: MaxTagsUnlimited})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tg.Threshold() != 0 {
+		t.Errorf("ThresholdNone resolved to %v, want 0", tg.Threshold())
+	}
+	corpusFor(t, tg, 4)
+	if err := tg.Train(); err != nil {
+		t.Fatal(err)
+	}
+	// Threshold 0 with no cap returns every tag the swarm knows (3 topics).
+	tags, err := tg.AutoTag("song melody on the beach with a recipe for the hotel grill")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tags) != 3 {
+		t.Errorf("threshold 0, no cap: AutoTag = %v, want all 3 known tags", tags)
 	}
 }
 
@@ -272,6 +315,49 @@ func TestStatsAndExplain(t *testing.T) {
 	joined := strings.Join(terms, " ")
 	if !strings.Contains(joined, "guitar") || !strings.Contains(joined, "melodi") {
 		t.Errorf("explain = %v (stemming/stop-words expected)", terms)
+	}
+}
+
+// TestStatsConcurrentWithParallelTraining reads Stats from another
+// goroutine while the swarm trains over all cores and then serves a batch —
+// the monitoring pattern a serving front-end's stats endpoint uses. Under
+// -race this pins the simnet stats counters being properly synchronized.
+func TestStatsConcurrentWithParallelTraining(t *testing.T) {
+	tg, err := New(Config{Protocol: ProtocolCEMPaR, Peers: 8, Seed: 21, Parallel: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	corpusFor(t, tg, 8)
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				if s := tg.Stats(); s.Messages < 0 {
+					t.Error("negative message count")
+					return
+				}
+			}
+		}
+	}()
+	if err := tg.Train(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tg.AutoTagBatch([]string{
+		"a new album with a soft piano melody",
+		"a bread recipe with yeast and flour",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	close(done)
+	wg.Wait()
+	if s := tg.Stats(); s.Messages == 0 {
+		t.Errorf("no traffic recorded: %+v", s)
 	}
 }
 

@@ -211,3 +211,53 @@ func BenchmarkQuery(b *testing.B) {
 		ix.Query(q, 10)
 	}
 }
+
+// TestQueryFallbackDeterministic pins the byte-identical contract on the
+// linear-scan fallback: candidates are collected by iterating the items
+// map, so only the total (cosine, id) re-ranking order keeps map iteration
+// from leaking into results. Repeated queries — and indexes built in
+// different insertion orders — must return the exact same neighbor list.
+func TestQueryFallbackDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	const items = 12
+	vs := make([]*vector.Sparse, items)
+	for i := range vs {
+		vs[i] = randomUnit(rng, 8)
+	}
+	build := func(order []int) *Index {
+		ix := New(Options{Planes: 8, Tables: 2, Seed: 5})
+		for _, i := range order {
+			ix.Add(i, vs[i])
+		}
+		return ix
+	}
+	forward := make([]int, items)
+	reverse := make([]int, items)
+	for i := range forward {
+		forward[i] = i
+		reverse[i] = items - 1 - i
+	}
+	q := randomUnit(rng, 8)
+	// k > items forces the widening cascade all the way to the full-scan
+	// fallback, the map-iteration site under audit.
+	const k = items + 5
+	want := build(forward).Query(q, k)
+	if len(want) != items {
+		t.Fatalf("fallback returned %d of %d items", len(want), items)
+	}
+	for trial := 0; trial < 20; trial++ {
+		order := forward
+		if trial%2 == 1 {
+			order = reverse
+		}
+		got := build(order).Query(q, k)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: %d results, want %d", trial, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: result %d = %+v, want %+v", trial, i, got[i], want[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,407 @@
+// Package serving is the concurrent serving front-end of the system: a
+// thread-safe micro-batching dispatcher over a sharded pool of batch
+// classification engines.
+//
+// Concurrent callers submit single documents with Server.Tag; a dispatcher
+// goroutine coalesces them into batches — flushing when MaxBatch requests
+// are pending or MaxDelay has passed since the first one, whichever comes
+// first — and hands each batch to one engine of the shard pool. Every
+// engine is driven by exactly one goroutine, so engines themselves need no
+// internal locking (a *doctagger.Tagger, which is not safe for concurrent
+// use, plugs in directly via AutoTagBatch).
+//
+// Batching is how the pool absorbs heavy traffic: one AutoTagBatch call
+// amortizes the swarm's query fan-out and network drain over many
+// documents, so the sustained request rate scales with batch size rather
+// than per-document round trips. The queue is bounded, giving natural
+// backpressure: submitters block (or fail fast, when configured) instead of
+// growing memory without limit. Close drains — every accepted request is
+// answered before shutdown completes.
+package serving
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Engine is the batch classification back-end a Server shards over —
+// implemented by (*doctagger.Tagger).AutoTagBatch. The contract mirrors
+// AutoTagBatch: one tag list per input text in input order; rows the engine
+// cannot answer are nil, and the returned error wraps the underlying cause
+// of the first failed row. Engines need not be safe for concurrent use; the
+// Server serializes all calls to one engine on a single goroutine.
+type Engine interface {
+	AutoTagBatch(texts []string) ([][]string, error)
+}
+
+// Errors returned by Tag.
+var (
+	// ErrClosed is returned for requests submitted after Close began.
+	ErrClosed = errors.New("serving: server is closed")
+	// ErrOverloaded is returned in fail-fast mode when the queue is full.
+	ErrOverloaded = errors.New("serving: request queue is full")
+	// ErrNoResult is returned when the engine produced no row for a
+	// document and reported no cause.
+	ErrNoResult = errors.New("serving: engine returned no result")
+)
+
+// Config tunes the dispatcher.
+type Config struct {
+	// MaxBatch flushes a batch when this many requests have coalesced;
+	// default 32.
+	MaxBatch int
+	// MaxDelay flushes a batch this long after its first request was
+	// dequeued, even if it is smaller than MaxBatch; default 2ms. The
+	// delay is the latency price of batching: under light load a request
+	// waits at most MaxDelay for company.
+	MaxDelay time.Duration
+	// MaxQueue bounds the submission queue; default 8*MaxBatch. A full
+	// queue blocks Tag (or rejects, with FailFast) — backpressure instead
+	// of unbounded memory.
+	MaxQueue int
+	// FailFast makes Tag return ErrOverloaded immediately when the queue
+	// is full instead of blocking until space frees up.
+	FailFast bool
+}
+
+func (c *Config) defaults() error {
+	if c.MaxBatch == 0 {
+		c.MaxBatch = 32
+	}
+	if c.MaxBatch < 1 {
+		return fmt.Errorf("serving: MaxBatch %d < 1", c.MaxBatch)
+	}
+	if c.MaxDelay == 0 {
+		c.MaxDelay = 2 * time.Millisecond
+	}
+	if c.MaxDelay < 0 {
+		return fmt.Errorf("serving: negative MaxDelay %v", c.MaxDelay)
+	}
+	if c.MaxQueue == 0 {
+		c.MaxQueue = 8 * c.MaxBatch
+	}
+	if c.MaxQueue < 1 {
+		return fmt.Errorf("serving: MaxQueue %d < 1", c.MaxQueue)
+	}
+	return nil
+}
+
+// BatchBucket is one bin of the batch-size histogram: the count of batches
+// whose size was <= Le (and greater than the previous bucket's Le). The
+// last bucket has Le 0, meaning unbounded.
+type BatchBucket struct {
+	Le    int
+	Count int64
+}
+
+// histogram bucket upper bounds; 0 terminates as +inf.
+var bucketBounds = [8]int{1, 2, 4, 8, 16, 32, 64, 0}
+
+// Stats is a point-in-time snapshot of the server's counters.
+type Stats struct {
+	// Shards is the engine pool size.
+	Shards int
+	// Requests counts submissions accepted into the queue.
+	Requests int64
+	// Served counts completed requests, failed ones included.
+	Served int64
+	// Errors counts requests that completed with an error.
+	Errors int64
+	// Rejected counts fail-fast rejections (never enqueued).
+	Rejected int64
+	// Batches counts engine invocations; BatchedDocs sums their sizes, so
+	// MeanBatchSize = BatchedDocs / Batches.
+	Batches       int64
+	BatchedDocs   int64
+	MeanBatchSize float64
+	// MaxBatchSeen is the largest batch dispatched so far.
+	MaxBatchSeen int
+	// BatchSizeHist bins batch sizes; see BatchBucket.
+	BatchSizeHist []BatchBucket
+	// QueueWait aggregates the time requests spent between submission and
+	// the start of their batch's engine call.
+	QueueWaitTotal time.Duration
+	QueueWaitMax   time.Duration
+	MeanQueueWait  time.Duration
+}
+
+type result struct {
+	tags []string
+	err  error
+}
+
+type request struct {
+	text     string
+	enqueued time.Time
+	ch       chan result // buffered(1): delivery never blocks a shard
+}
+
+// Server is the micro-batching front-end. All methods are safe for
+// concurrent use.
+type Server struct {
+	cfg     Config
+	shards  int
+	queue   chan *request
+	batches chan []*request
+
+	mu      sync.Mutex // guards closed and the counters below
+	closed  bool
+	ctr     counters
+	pending sync.WaitGroup // accepted-but-unanswered requests
+	workers sync.WaitGroup // dispatcher + shard goroutines
+	done    chan struct{}  // closed when shutdown completes
+}
+
+type counters struct {
+	requests, served, errors, rejected int64
+	batches, batchedDocs               int64
+	maxBatch                           int
+	hist                               [len(bucketBounds)]int64
+	waitTotal, waitMax                 time.Duration
+}
+
+// New starts a Server over the given engine pool, one goroutine per engine
+// plus the dispatcher. The engines must be distinct instances; when callers
+// need shard answers to be interchangeable (they usually do), the engines
+// must also be identically trained.
+func New(cfg Config, engines ...Engine) (*Server, error) {
+	if len(engines) == 0 {
+		return nil, errors.New("serving: need at least one engine")
+	}
+	if err := cfg.defaults(); err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:     cfg,
+		shards:  len(engines),
+		queue:   make(chan *request, cfg.MaxQueue),
+		batches: make(chan []*request),
+		done:    make(chan struct{}),
+	}
+	s.workers.Add(1 + len(engines))
+	go s.dispatch()
+	for _, e := range engines {
+		go s.serve(e)
+	}
+	return s, nil
+}
+
+// Tag submits one document and blocks until the swarm answers, the context
+// is cancelled, or — in fail-fast mode — the queue is full. A context
+// cancelled after submission abandons the wait but not the work: the
+// request still flows through its batch (counted in Served), its result
+// discarded.
+func (s *Server) Tag(ctx context.Context, text string) ([]string, error) {
+	req := &request{text: text, enqueued: time.Now(), ch: make(chan result, 1)}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrClosed
+	}
+	// Registering under the lock pairs with Close: once closed is set, no
+	// new request can join the drain set.
+	s.pending.Add(1)
+	s.mu.Unlock()
+	if s.cfg.FailFast {
+		select {
+		case s.queue <- req:
+		default:
+			s.pending.Done()
+			s.count(func(c *counters) { c.rejected++ })
+			return nil, ErrOverloaded
+		}
+	} else {
+		select {
+		case s.queue <- req:
+		case <-ctx.Done():
+			s.pending.Done()
+			return nil, ctx.Err()
+		}
+	}
+	s.count(func(c *counters) { c.requests++ })
+	select {
+	case r := <-req.ch:
+		return r.tags, r.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// dispatch coalesces queued requests into batches: a batch opens with the
+// first request pulled from the queue and flushes at MaxBatch requests or
+// MaxDelay after opening, whichever comes first.
+func (s *Server) dispatch() {
+	defer s.workers.Done()
+	defer close(s.batches)
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	for {
+		first, ok := <-s.queue
+		if !ok {
+			return
+		}
+		batch := append(make([]*request, 0, s.cfg.MaxBatch), first)
+		timer.Reset(s.cfg.MaxDelay)
+		open := true
+	collect:
+		for len(batch) < s.cfg.MaxBatch {
+			select {
+			case r, ok := <-s.queue:
+				if !ok {
+					open = false
+					break collect
+				}
+				batch = append(batch, r)
+			case <-timer.C:
+				break collect
+			}
+		}
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		s.batches <- batch
+		if !open {
+			return
+		}
+	}
+}
+
+// serve drives one engine: it owns every call into e, so e sees strictly
+// serial use.
+func (s *Server) serve(e Engine) {
+	defer s.workers.Done()
+	for batch := range s.batches {
+		start := time.Now()
+		texts := make([]string, len(batch))
+		for i, r := range batch {
+			texts[i] = r.text
+		}
+		out, err := e.AutoTagBatch(texts)
+		// The batch error wraps the cause of the first failed row
+		// (e.g. "document 3: no answer"); unwrap it so per-request errors
+		// don't carry another request's batch-relative index.
+		cause := err
+		if err != nil {
+			if u := errors.Unwrap(err); u != nil {
+				cause = u
+			}
+		}
+		var failed int64
+		for i, r := range batch {
+			var res result
+			switch {
+			case i < len(out) && out[i] != nil:
+				res.tags = out[i]
+			case err == nil && i < len(out):
+				// A nil row without an error is a legal empty answer.
+			case err != nil:
+				res.err = cause
+			default:
+				res.err = ErrNoResult
+			}
+			if res.err != nil {
+				failed++
+			}
+			r.ch <- res
+			s.pending.Done()
+		}
+		var waitTotal, waitMax time.Duration
+		for _, r := range batch {
+			w := start.Sub(r.enqueued)
+			waitTotal += w
+			if w > waitMax {
+				waitMax = w
+			}
+		}
+		n := len(batch)
+		s.count(func(c *counters) {
+			c.served += int64(n)
+			c.errors += failed
+			c.batches++
+			c.batchedDocs += int64(n)
+			if n > c.maxBatch {
+				c.maxBatch = n
+			}
+			c.hist[bucketFor(n)]++
+			c.waitTotal += waitTotal
+			if waitMax > c.waitMax {
+				c.waitMax = waitMax
+			}
+		})
+	}
+}
+
+func bucketFor(n int) int {
+	for i, le := range bucketBounds {
+		if le == 0 || n <= le {
+			return i
+		}
+	}
+	return len(bucketBounds) - 1
+}
+
+func (s *Server) count(f func(*counters)) {
+	s.mu.Lock()
+	f(&s.ctr)
+	s.mu.Unlock()
+}
+
+// Stats snapshots the counters. Safe to call at any time, including after
+// Close.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	c := s.ctr
+	s.mu.Unlock()
+	st := Stats{
+		Shards:         s.shards,
+		Requests:       c.requests,
+		Served:         c.served,
+		Errors:         c.errors,
+		Rejected:       c.rejected,
+		Batches:        c.batches,
+		BatchedDocs:    c.batchedDocs,
+		MaxBatchSeen:   c.maxBatch,
+		QueueWaitTotal: c.waitTotal,
+		QueueWaitMax:   c.waitMax,
+	}
+	if c.batches > 0 {
+		st.MeanBatchSize = float64(c.batchedDocs) / float64(c.batches)
+	}
+	if c.served > 0 {
+		st.MeanQueueWait = c.waitTotal / time.Duration(c.served)
+	}
+	st.BatchSizeHist = make([]BatchBucket, len(bucketBounds))
+	for i, le := range bucketBounds {
+		st.BatchSizeHist[i] = BatchBucket{Le: le, Count: c.hist[i]}
+	}
+	return st
+}
+
+// Close drains and shuts down: new submissions fail with ErrClosed, every
+// already-accepted request is answered, then the dispatcher and shard
+// goroutines exit. Close blocks until the drain completes and is safe to
+// call more than once (later calls wait for the first to finish).
+func (s *Server) Close() {
+	s.mu.Lock()
+	already := s.closed
+	s.closed = true
+	s.mu.Unlock()
+	if already {
+		<-s.done
+		return
+	}
+	// Every request ever admitted past the closed check is registered in
+	// pending, and the dispatcher is still consuming, so this terminates.
+	s.pending.Wait()
+	close(s.queue)
+	s.workers.Wait()
+	close(s.done)
+}

@@ -1,0 +1,301 @@
+package serving
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// errNoAnswer stands in for doctagger.ErrNoAnswer as the wrapped cause of a
+// failed row.
+var errNoAnswer = errors.New("no answer")
+
+// fakeEngine tags every document "tag:<text>", optionally sleeping per
+// batch and failing configured texts the way AutoTagBatch does: nil row +
+// first-failure error wrapping the cause.
+type fakeEngine struct {
+	delay   time.Duration
+	failOn  map[string]bool
+	mu      sync.Mutex
+	batches []int
+}
+
+func (f *fakeEngine) AutoTagBatch(texts []string) ([][]string, error) {
+	if f.delay > 0 {
+		time.Sleep(f.delay)
+	}
+	f.mu.Lock()
+	f.batches = append(f.batches, len(texts))
+	f.mu.Unlock()
+	out := make([][]string, len(texts))
+	var err error
+	for i, t := range texts {
+		if f.failOn[t] {
+			if err == nil {
+				err = fmt.Errorf("engine: document %d: %w", i, errNoAnswer)
+			}
+			continue
+		}
+		out[i] = []string{"tag:" + t}
+	}
+	return out, err
+}
+
+func (f *fakeEngine) batchSizes() []int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]int(nil), f.batches...)
+}
+
+func TestConfigValidation(t *testing.T) {
+	for _, cfg := range []Config{
+		{MaxBatch: -1},
+		{MaxDelay: -time.Second},
+		{MaxQueue: -3},
+	} {
+		if _, err := New(cfg, &fakeEngine{}); err == nil {
+			t.Errorf("New(%+v) accepted an invalid config", cfg)
+		}
+	}
+	if _, err := New(Config{}); err == nil {
+		t.Error("New with no engines accepted")
+	}
+}
+
+// TestBatchingUnderConcurrency is the acceptance check of the dispatcher:
+// 64 concurrent clients against a briefly-busy engine must coalesce — mean
+// batch size above 1 — while every client still receives exactly its own
+// document's answer.
+func TestBatchingUnderConcurrency(t *testing.T) {
+	eng := &fakeEngine{delay: time.Millisecond}
+	s, err := New(Config{MaxBatch: 16, MaxDelay: 5 * time.Millisecond}, eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	const clients, perClient = 64, 4
+	var wg sync.WaitGroup
+	var mismatches atomic.Int64
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for r := 0; r < perClient; r++ {
+				text := fmt.Sprintf("doc-%d-%d", c, r)
+				tags, err := s.Tag(context.Background(), text)
+				if err != nil || len(tags) != 1 || tags[0] != "tag:"+text {
+					mismatches.Add(1)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	if n := mismatches.Load(); n != 0 {
+		t.Fatalf("%d requests got wrong or failed answers", n)
+	}
+	st := s.Stats()
+	if st.Requests != clients*perClient || st.Served != clients*perClient {
+		t.Errorf("requests %d served %d, want %d", st.Requests, st.Served, clients*perClient)
+	}
+	if st.MeanBatchSize <= 1 {
+		t.Errorf("mean batch size %.2f, want > 1 (batches: %v)", st.MeanBatchSize, eng.batchSizes())
+	}
+	if st.MaxBatchSeen > 16 {
+		t.Errorf("batch of %d exceeded MaxBatch", st.MaxBatchSeen)
+	}
+	var histTotal int64
+	for _, b := range st.BatchSizeHist {
+		histTotal += b.Count
+	}
+	if histTotal != st.Batches {
+		t.Errorf("histogram sums to %d, want %d batches", histTotal, st.Batches)
+	}
+	if st.Errors != 0 || st.Rejected != 0 {
+		t.Errorf("unexpected errors/rejections: %+v", st)
+	}
+}
+
+// TestSingleRequestFlushesOnDelay: a lone request must not wait for
+// MaxBatch company forever.
+func TestSingleRequestFlushesOnDelay(t *testing.T) {
+	eng := &fakeEngine{}
+	s, err := New(Config{MaxBatch: 64, MaxDelay: time.Millisecond}, eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	tags, err := s.Tag(context.Background(), "solo")
+	if err != nil || len(tags) != 1 {
+		t.Fatalf("Tag = %v, %v", tags, err)
+	}
+	if sizes := eng.batchSizes(); len(sizes) != 1 || sizes[0] != 1 {
+		t.Errorf("batch sizes = %v, want [1]", sizes)
+	}
+	if st := s.Stats(); st.MeanQueueWait <= 0 {
+		t.Errorf("queue wait not recorded: %+v", st)
+	}
+}
+
+// TestPerRequestErrorPropagation: a failed document inside a batch must
+// fail only its own request, with the unwrapped cause, while its batch
+// mates succeed.
+func TestPerRequestErrorPropagation(t *testing.T) {
+	eng := &fakeEngine{failOn: map[string]bool{"bad-1": true, "bad-2": true}}
+	s, err := New(Config{MaxBatch: 8, MaxDelay: 20 * time.Millisecond}, eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	texts := []string{"ok-1", "bad-1", "ok-2", "bad-2", "ok-3"}
+	errs := make([]error, len(texts))
+	results := make([][]string, len(texts))
+	var wg sync.WaitGroup
+	for i, text := range texts {
+		wg.Add(1)
+		go func(i int, text string) {
+			defer wg.Done()
+			results[i], errs[i] = s.Tag(context.Background(), text)
+		}(i, text)
+	}
+	wg.Wait()
+	for i, text := range texts {
+		if text[:2] == "ok" {
+			if errs[i] != nil || len(results[i]) != 1 {
+				t.Errorf("%s: got %v, %v", text, results[i], errs[i])
+			}
+			continue
+		}
+		if !errors.Is(errs[i], errNoAnswer) {
+			t.Errorf("%s: err = %v, want errNoAnswer", text, errs[i])
+		}
+	}
+	if st := s.Stats(); st.Errors != 2 {
+		t.Errorf("Errors = %d, want 2", st.Errors)
+	}
+}
+
+// TestCloseDrains: Close must answer everything already accepted, then
+// refuse new work.
+func TestCloseDrains(t *testing.T) {
+	eng := &fakeEngine{delay: 2 * time.Millisecond}
+	s, err := New(Config{MaxBatch: 4, MaxDelay: time.Millisecond}, eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 32
+	var wg sync.WaitGroup
+	var ok atomic.Int64
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := s.Tag(context.Background(), fmt.Sprintf("d%d", i)); err == nil {
+				ok.Add(1)
+			}
+		}(i)
+	}
+	// Let most submissions land in the queue, then close underneath them.
+	time.Sleep(time.Millisecond)
+	s.Close()
+	wg.Wait()
+	st := s.Stats()
+	if st.Served != st.Requests {
+		t.Errorf("drain incomplete: served %d of %d accepted", st.Served, st.Requests)
+	}
+	if got := ok.Load(); got != st.Requests {
+		t.Errorf("%d successful answers for %d accepted requests", got, st.Requests)
+	}
+	if _, err := s.Tag(context.Background(), "late"); err != ErrClosed {
+		t.Errorf("Tag after Close = %v, want ErrClosed", err)
+	}
+	s.Close() // idempotent
+}
+
+// TestFailFastBackpressure: with a tiny queue and a slow engine, fail-fast
+// submissions are rejected instead of blocking.
+func TestFailFastBackpressure(t *testing.T) {
+	eng := &fakeEngine{delay: 5 * time.Millisecond}
+	s, err := New(Config{MaxBatch: 1, MaxDelay: time.Millisecond, MaxQueue: 1, FailFast: true}, eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	var wg sync.WaitGroup
+	var rejected atomic.Int64
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := s.Tag(context.Background(), fmt.Sprintf("d%d", i)); errors.Is(err, ErrOverloaded) {
+				rejected.Add(1)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if rejected.Load() == 0 {
+		t.Error("no request was rejected under overload")
+	}
+	if st := s.Stats(); st.Rejected != rejected.Load() {
+		t.Errorf("Rejected = %d, want %d", st.Rejected, rejected.Load())
+	}
+}
+
+// TestContextCancelAbandonsWait: a cancelled waiter returns promptly; its
+// request still drains, so Close completes.
+func TestContextCancelAbandonsWait(t *testing.T) {
+	eng := &fakeEngine{delay: 20 * time.Millisecond}
+	s, err := New(Config{MaxBatch: 2, MaxDelay: time.Millisecond}, eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Millisecond)
+	defer cancel()
+	if _, err := s.Tag(ctx, "slow"); !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("Tag = %v, want deadline exceeded", err)
+	}
+	s.Close()
+	if st := s.Stats(); st.Served != 1 {
+		t.Errorf("abandoned request not drained: %+v", st)
+	}
+}
+
+// TestShardPoolParallelism: with several engines, batches run concurrently
+// across shards; every engine still sees strictly serial calls (the fake
+// engine's slice append would race otherwise under -race).
+func TestShardPoolParallelism(t *testing.T) {
+	engines := []*fakeEngine{{delay: time.Millisecond}, {delay: time.Millisecond}, {delay: time.Millisecond}}
+	s, err := New(Config{MaxBatch: 4, MaxDelay: time.Millisecond},
+		engines[0], engines[1], engines[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 48; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := s.Tag(context.Background(), fmt.Sprintf("d%d", i)); err != nil {
+				t.Errorf("Tag: %v", err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	s.Close()
+	if st := s.Stats(); st.Shards != 3 || st.Served != 48 {
+		t.Errorf("stats = %+v", st)
+	}
+	used := 0
+	for _, e := range engines {
+		if len(e.batchSizes()) > 0 {
+			used++
+		}
+	}
+	if used < 2 {
+		t.Errorf("only %d of 3 shards saw traffic", used)
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"sync"
 	"time"
 )
 
@@ -166,7 +167,11 @@ type Options struct {
 }
 
 // Network is the simulated physical network. All methods must be called
-// from a single goroutine (handlers run inline during Run).
+// from a single goroutine (handlers run inline during Run), with one
+// exception: Stats and ResetStats are safe to call concurrently with a
+// running simulation, so monitoring goroutines (a serving front-end's
+// /v1/stats endpoint, a benchmark's progress reader) can observe traffic
+// counters while another goroutine drives the virtual clock.
 type Network struct {
 	now     time.Duration
 	seq     uint64
@@ -175,6 +180,7 @@ type Network struct {
 	latency LatencyModel
 	rng     *rand.Rand
 	drop    float64
+	statsMu sync.Mutex // guards stats; see Stats/ResetStats
 	stats   Stats
 	logf    func(format string, args ...any)
 }
@@ -248,8 +254,12 @@ func (n *Network) Now() time.Duration { return n.now }
 // random choices tied to the run seed.
 func (n *Network) Rand() *rand.Rand { return n.rng }
 
-// Stats returns a snapshot of the accumulated counters.
+// Stats returns a snapshot of the accumulated counters. It is safe to call
+// from any goroutine, including while another goroutine runs the
+// simulation.
 func (n *Network) Stats() Stats {
+	n.statsMu.Lock()
+	defer n.statsMu.Unlock()
 	s := n.stats
 	s.BytesByKind = make(map[string]int64, len(n.stats.BytesByKind))
 	for k, v := range n.stats.BytesByKind {
@@ -268,8 +278,12 @@ func (n *Network) Stats() Stats {
 
 // ResetStats zeroes the traffic counters (used between the training and
 // prediction phases of an experiment so each phase is accounted
-// separately).
-func (n *Network) ResetStats() { n.stats = newStats() }
+// separately). Like Stats, it is safe to call from any goroutine.
+func (n *Network) ResetStats() {
+	n.statsMu.Lock()
+	defer n.statsMu.Unlock()
+	n.stats = newStats()
+}
 
 // Send schedules msg for delivery after the model latency. Sending from a
 // dead node is a programming error and panics; sending to a dead or unknown
@@ -279,13 +293,15 @@ func (n *Network) Send(msg Message) {
 	if !ok || !src.alive {
 		panic(fmt.Sprintf("simnet: send from dead or unknown node %d", msg.From))
 	}
+	n.statsMu.Lock()
 	n.stats.MessagesSent++
 	n.stats.BytesSent += int64(msg.Size)
 	n.stats.BytesByKind[msg.Kind] += int64(msg.Size)
 	n.stats.MessagesByKind[msg.Kind]++
 	n.stats.BytesByNode[msg.From] += int64(msg.Size)
+	n.statsMu.Unlock()
 	if n.drop > 0 && n.rng.Float64() < n.drop {
-		n.stats.MessagesDropped++
+		n.countDrop()
 		n.log("DROP %s %d->%d (%dB)", msg.Kind, msg.From, msg.To, msg.Size)
 		return
 	}
@@ -305,6 +321,13 @@ func (n *Network) ScheduleSystem(delay time.Duration, fn func()) {
 	n.push(&event{at: n.now + delay, fn: fn, sys: true})
 }
 
+// countDrop records a lost message under the stats lock.
+func (n *Network) countDrop() {
+	n.statsMu.Lock()
+	n.stats.MessagesDropped++
+	n.statsMu.Unlock()
+}
+
 func (n *Network) push(e *event) {
 	e.seq = n.seq
 	n.seq++
@@ -319,7 +342,9 @@ func (n *Network) Kill(id NodeID) {
 		return
 	}
 	nd.alive = false
+	n.statsMu.Lock()
 	n.stats.Failures++
+	n.statsMu.Unlock()
 	n.log("DOWN node %d", id)
 	if lh, ok := nd.handler.(LifecycleHandler); ok {
 		lh.NodeDown(n)
@@ -333,7 +358,9 @@ func (n *Network) Revive(id NodeID) {
 		return
 	}
 	nd.alive = true
+	n.statsMu.Lock()
 	n.stats.Recoveries++
+	n.statsMu.Unlock()
 	n.log("UP   node %d", id)
 	if lh, ok := nd.handler.(LifecycleHandler); ok {
 		lh.NodeUp(n)
@@ -353,12 +380,14 @@ func (n *Network) Step() bool {
 	case e.msg != nil:
 		dst, ok := n.nodes[e.msg.To]
 		if !ok || !dst.alive {
-			n.stats.MessagesDropped++
+			n.countDrop()
 			n.log("LOST %s %d->%d (dest down)", e.msg.Kind, e.msg.From, e.msg.To)
 			return true
 		}
+		n.statsMu.Lock()
 		n.stats.MessagesDelivered++
 		n.stats.BytesDelivered += int64(e.msg.Size)
+		n.statsMu.Unlock()
 		dst.handler.HandleMessage(n, *e.msg)
 	case e.sys:
 		e.fn()

@@ -1,6 +1,7 @@
 package simnet
 
 import (
+	"sync"
 	"testing"
 	"time"
 )
@@ -41,6 +42,57 @@ func TestSendDeliversWithLatency(t *testing.T) {
 	}
 	if s.BytesByNode[1] != 100 {
 		t.Errorf("per-node bytes = %+v", s.BytesByNode)
+	}
+}
+
+// TestStatsConcurrentWithRun pins the one concurrency guarantee the
+// simulator makes: Stats and ResetStats may run on other goroutines while
+// the simulation executes. Run under -race (the CI short tier does) this
+// catches any unguarded counter access.
+func TestStatsConcurrentWithRun(t *testing.T) {
+	n := New(Options{Latency: FixedLatency(time.Millisecond), Seed: 7})
+	const nodes = 4
+	for id := 0; id < nodes; id++ {
+		id := NodeID(id)
+		n.AddNode(id, HandlerFunc(func(net *Network, msg Message) {
+			// Keep traffic flowing for a while: each delivery forwards the
+			// message to the next node until its TTL payload runs out.
+			ttl := msg.Payload.(int)
+			if ttl > 0 {
+				net.Send(Message{From: msg.To, To: (msg.To + 1) % nodes, Kind: "fwd", Size: 64, Payload: ttl - 1})
+			}
+		}))
+	}
+	for id := 0; id < nodes; id++ {
+		n.Send(Message{From: NodeID(id), To: NodeID((id + 1) % nodes), Kind: "fwd", Size: 64, Payload: 500})
+	}
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+					s := n.Stats()
+					if s.MessagesDelivered > s.MessagesSent {
+						t.Error("delivered more than sent")
+						return
+					}
+				}
+			}
+		}()
+	}
+	n.Run(0)
+	close(done)
+	wg.Wait()
+	n.ResetStats()
+	if s := n.Stats(); s.MessagesSent != 0 {
+		t.Errorf("after reset: %+v", s)
 	}
 }
 

@@ -103,12 +103,12 @@ func (s *Store) BuildCloud(minSupport int) *TagCloud {
 	})
 
 	cloud.Bridges = cutVertices(adj)
-	sort.Strings(cloud.Bridges)
 	return cloud
 }
 
 // cutVertices finds articulation points of the tag graph with the
-// iterative Tarjan lowlink algorithm.
+// iterative Tarjan lowlink algorithm. The result is sorted: the isCut set
+// is a map, and iterating it unsorted would leak map ordering into output.
 func cutVertices(adj map[string][]string) []string {
 	index := map[string]int{}
 	low := map[string]int{}
@@ -178,6 +178,7 @@ func cutVertices(adj map[string][]string) []string {
 			out = append(out, n)
 		}
 	}
+	sort.Strings(out)
 	return out
 }
 

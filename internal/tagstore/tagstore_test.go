@@ -209,3 +209,55 @@ func TestCutVerticesSimplePath(t *testing.T) {
 		t.Errorf("triangle cuts = %v", cuts)
 	}
 }
+
+// TestBuildCloudDeterministic pins the byte-identical contract on the tag
+// cloud's adjacency walks: pair counting iterates the entries map, cut
+// vertices come out of a map-backed set, and clustering walks map-keyed
+// adjacency lists — every one of those sites must end behind a total sort.
+// The same library, inserted in any order, must render the same bytes.
+func TestBuildCloudDeterministic(t *testing.T) {
+	type doc struct {
+		path string
+		tags []string
+	}
+	// Two clusters ("go,db,perf" and "art,music") bridged by "notes", plus
+	// a deliberate tie: art and music have equal counts, as do db and perf.
+	docs := []doc{
+		{"/a", []string{"go", "db", "perf"}},
+		{"/b", []string{"go", "db"}},
+		{"/c", []string{"go", "perf"}},
+		{"/d", []string{"go", "notes"}},
+		{"/e", []string{"notes", "art"}},
+		{"/f", []string{"art", "music"}},
+		{"/g", []string{"music", "art"}},
+		{"/h", []string{"music"}},
+	}
+	build := func(order []int) *Store {
+		s := NewMemory()
+		for _, i := range order {
+			s.SetTags(docs[i].path, docs[i].tags, false)
+		}
+		return s
+	}
+	forward := make([]int, len(docs))
+	reverse := make([]int, len(docs))
+	for i := range docs {
+		forward[i] = i
+		reverse[i] = len(docs) - 1 - i
+	}
+	ref := build(forward).BuildCloud(1)
+	want := ref.Render(0)
+	if len(ref.Clusters) < 1 || len(ref.Bridges) == 0 {
+		t.Fatalf("test graph lost its structure: clusters %v bridges %v", ref.Clusters, ref.Bridges)
+	}
+	for trial := 0; trial < 20; trial++ {
+		order := forward
+		if trial%2 == 1 {
+			order = reverse
+		}
+		cloud := build(order).BuildCloud(1)
+		if got := cloud.Render(0); got != want {
+			t.Fatalf("trial %d: render differs:\n got:\n%s\nwant:\n%s", trial, got, want)
+		}
+	}
+}

@@ -20,6 +20,10 @@ import (
 // Tokenize splits raw text into lower-case word tokens. Tokens are maximal
 // runs of letters or digits containing at least one letter; pure numbers are
 // dropped since they carry little recognition value for tagging.
+// Apostrophes survive inside a word ("don't") so contractions match stop
+// words, but leading and trailing ones are stripped: "dogs'" must tokenize
+// as "dogs", or possessives and quoted words would never share a lexicon id
+// with the bare word.
 func Tokenize(text string) []string {
 	var tokens []string
 	var cur strings.Builder
@@ -27,7 +31,7 @@ func Tokenize(text string) []string {
 	flush := func() {
 		if cur.Len() > 0 {
 			if hasLetter {
-				tokens = append(tokens, cur.String())
+				tokens = append(tokens, strings.TrimRight(cur.String(), "'"))
 			}
 			cur.Reset()
 			hasLetter = false

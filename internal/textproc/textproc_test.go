@@ -27,6 +27,36 @@ func TestTokenize(t *testing.T) {
 	}
 }
 
+// TestTokenizeApostrophes pins the apostrophe contract: internal ones stay
+// (contractions must match stop words), leading and trailing ones go, so a
+// possessive or close-quoted word tokenizes identically to the bare word.
+func TestTokenizeApostrophes(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"the dogs' bones", []string{"the", "dogs", "bones"}},
+		{"dogs' dogs", []string{"dogs", "dogs"}},
+		{"James' and James's books", []string{"james", "and", "james's", "books"}},
+		{"'quoted words'", []string{"quoted", "words"}},
+		{"rock 'n' roll", []string{"rock", "n", "roll"}},
+		{"don't won't can't", []string{"don't", "won't", "can't"}},
+		{"trailing''", []string{"trailing"}},
+		{"''", nil},
+		{"o''brien", []string{"o''brien"}},
+	}
+	for _, c := range cases {
+		if got := Tokenize(c.in); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("Tokenize(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+	// The property the fix restores: a possessive shares its token (and
+	// hence its lexicon id) with the bare word.
+	if a, b := Tokenize("dogs'")[0], Tokenize("dogs")[0]; a != b {
+		t.Errorf("possessive token %q != bare token %q", a, b)
+	}
+}
+
 func TestStemKnownPairs(t *testing.T) {
 	// Reference pairs from Porter's published vocabulary.
 	cases := map[string]string{

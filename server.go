@@ -1,0 +1,183 @@
+package doctagger
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/serving"
+)
+
+// ServerConfig tunes the concurrent serving front-end. The zero value
+// batches up to 32 documents, waits at most 2ms for a batch to fill, and
+// bounds the queue at 8*MaxBatch.
+type ServerConfig struct {
+	// MaxBatch flushes a batch at this many coalesced requests;
+	// default 32.
+	MaxBatch int
+	// MaxDelay flushes a batch this long after its first request even if
+	// it is smaller than MaxBatch; default 2ms.
+	MaxDelay time.Duration
+	// MaxQueue bounds the submission queue — backpressure instead of
+	// unbounded memory; default 8*MaxBatch.
+	MaxQueue int
+	// FailFast rejects submissions with ErrOverloaded when the queue is
+	// full instead of blocking callers.
+	FailFast bool
+}
+
+// Serving errors, re-exported so callers need not import internal
+// packages.
+var (
+	// ErrServerClosed is returned by Server.Tag after Close began.
+	ErrServerClosed = serving.ErrClosed
+	// ErrOverloaded is returned in fail-fast mode when the queue is full.
+	ErrOverloaded = serving.ErrOverloaded
+)
+
+// BatchBucket is one bin of the batch-size histogram: Count batches had a
+// size <= Le (and above the previous bucket's bound); Le 0 means
+// unbounded.
+type BatchBucket struct {
+	Le    int
+	Count int64
+}
+
+// ServerStats snapshots a Server's counters: request/batch accounting from
+// the dispatcher plus the simulated swarms' aggregate traffic.
+type ServerStats struct {
+	// Shards is the tagger pool size.
+	Shards int
+	// Requests counts accepted submissions; Served counts completed ones
+	// (failures included); Errors counts requests answered with an error;
+	// Rejected counts fail-fast rejections.
+	Requests, Served, Errors, Rejected int64
+	// Batches counts AutoTagBatch invocations, BatchedDocs sums their
+	// sizes; MeanBatchSize is their ratio and MaxBatchSeen the largest
+	// batch dispatched.
+	Batches, BatchedDocs int64
+	MeanBatchSize        float64
+	MaxBatchSeen         int
+	// BatchSizeHist bins batch sizes into power-of-two buckets.
+	BatchSizeHist []BatchBucket
+	// QueueWait* aggregate time spent between submission and the start of
+	// the batch's engine call.
+	QueueWaitTotal, QueueWaitMax, MeanQueueWait time.Duration
+	// Network aggregates simulated traffic across every shard's swarm.
+	Network NetworkStats
+}
+
+// Server is the concurrent serving front-end over a pool of trained
+// Taggers: many goroutines submit single documents, a micro-batching
+// dispatcher coalesces them into AutoTagBatch calls fanned across the pool.
+// A Tagger alone is not safe for concurrent use; a Server is — each shard
+// is driven by exactly one goroutine.
+//
+// Shards answer interchangeably, so they must be identically trained (same
+// Config including Seed, same documents). Identically trained shards give
+// byte-identical answers — queries never feed back into the models, and
+// the term-frequency features of a document do not depend on what was
+// vectorized before it — which is what makes the pool transparent: results
+// equal serial single-document AutoTag calls on any one shard.
+type Server struct {
+	inner   *serving.Server
+	taggers []*Tagger
+}
+
+// NewServer builds a Server over already-trained taggers, one shard per
+// tagger. The taggers must be distinct instances (the Server assumes
+// exclusive ownership of each) and should be identically trained; see the
+// Server doc. At least one tagger is required.
+func NewServer(cfg ServerConfig, taggers ...*Tagger) (*Server, error) {
+	if len(taggers) == 0 {
+		return nil, errors.New("doctagger: NewServer needs at least one tagger")
+	}
+	engines := make([]serving.Engine, len(taggers))
+	seen := make(map[*Tagger]bool, len(taggers))
+	for i, tg := range taggers {
+		if tg == nil {
+			return nil, fmt.Errorf("doctagger: shard %d is nil", i)
+		}
+		if seen[tg] {
+			return nil, fmt.Errorf("doctagger: shard %d reuses another shard's Tagger", i)
+		}
+		seen[tg] = true
+		if !tg.trained {
+			return nil, fmt.Errorf("doctagger: shard %d is not trained", i)
+		}
+		engines[i] = tg
+	}
+	inner, err := serving.New(serving.Config{
+		MaxBatch: cfg.MaxBatch,
+		MaxDelay: cfg.MaxDelay,
+		MaxQueue: cfg.MaxQueue,
+		FailFast: cfg.FailFast,
+	}, engines...)
+	if err != nil {
+		return nil, err
+	}
+	return &Server{inner: inner, taggers: taggers}, nil
+}
+
+// NewReplicatedServer builds shards identical taggers with build (called
+// with the shard index) and serves them as one pool. build must be
+// deterministic — same Config, same Seed, same training documents for
+// every shard — or the shards' answers will depend on which one handled a
+// batch.
+func NewReplicatedServer(shards int, cfg ServerConfig, build func(shard int) (*Tagger, error)) (*Server, error) {
+	if shards < 1 {
+		return nil, fmt.Errorf("doctagger: %d shards < 1", shards)
+	}
+	taggers := make([]*Tagger, shards)
+	for i := range taggers {
+		tg, err := build(i)
+		if err != nil {
+			return nil, fmt.Errorf("doctagger: building shard %d: %w", i, err)
+		}
+		taggers[i] = tg
+	}
+	return NewServer(cfg, taggers...)
+}
+
+// Tag submits one document and blocks until the swarm answers, ctx is
+// cancelled, or — in fail-fast mode — the queue is full. Safe for
+// arbitrary concurrent use.
+func (s *Server) Tag(ctx context.Context, text string) ([]string, error) {
+	return s.inner.Tag(ctx, text)
+}
+
+// Stats snapshots the serving counters and the aggregate simulated traffic
+// of every shard's swarm. Safe to call while the server is running.
+func (s *Server) Stats() ServerStats {
+	st := s.inner.Stats()
+	out := ServerStats{
+		Shards:         st.Shards,
+		Requests:       st.Requests,
+		Served:         st.Served,
+		Errors:         st.Errors,
+		Rejected:       st.Rejected,
+		Batches:        st.Batches,
+		BatchedDocs:    st.BatchedDocs,
+		MeanBatchSize:  st.MeanBatchSize,
+		MaxBatchSeen:   st.MaxBatchSeen,
+		QueueWaitTotal: st.QueueWaitTotal,
+		QueueWaitMax:   st.QueueWaitMax,
+		MeanQueueWait:  st.MeanQueueWait,
+	}
+	out.BatchSizeHist = make([]BatchBucket, len(st.BatchSizeHist))
+	for i, b := range st.BatchSizeHist {
+		out.BatchSizeHist[i] = BatchBucket{Le: b.Le, Count: b.Count}
+	}
+	for _, tg := range s.taggers {
+		ns := tg.Stats()
+		out.Network.Messages += ns.Messages
+		out.Network.Bytes += ns.Bytes
+	}
+	return out
+}
+
+// Close drains and shuts down: new submissions fail with ErrServerClosed,
+// every accepted request is answered first. Idempotent; concurrent calls
+// wait for the first to finish.
+func (s *Server) Close() { s.inner.Close() }

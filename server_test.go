@@ -1,0 +1,133 @@
+package doctagger
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// buildTrained returns a trained 4-peer CEMPaR tagger over the shared test
+// corpus; calling it repeatedly yields identically trained instances.
+func buildTrained(t *testing.T) *Tagger {
+	t.Helper()
+	tg, err := New(Config{Protocol: ProtocolCEMPaR, Peers: 4, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	corpusFor(t, tg, 4)
+	if err := tg.Train(); err != nil {
+		t.Fatal(err)
+	}
+	return tg
+}
+
+func TestNewServerValidation(t *testing.T) {
+	if _, err := NewServer(ServerConfig{}); err == nil {
+		t.Error("no taggers accepted")
+	}
+	if _, err := NewServer(ServerConfig{}, nil); err == nil {
+		t.Error("nil tagger accepted")
+	}
+	untrained, err := New(Config{Peers: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewServer(ServerConfig{}, untrained); err == nil {
+		t.Error("untrained tagger accepted")
+	}
+	trained := buildTrained(t)
+	if _, err := NewServer(ServerConfig{}, trained, trained); err == nil {
+		t.Error("duplicate tagger accepted")
+	}
+	if _, err := NewReplicatedServer(0, ServerConfig{}, nil); err == nil {
+		t.Error("0 shards accepted")
+	}
+	if _, err := NewReplicatedServer(1, ServerConfig{}, func(int) (*Tagger, error) {
+		return nil, errors.New("boom")
+	}); err == nil {
+		t.Error("builder error swallowed")
+	}
+}
+
+// TestServerMatchesSerialUnderLoad is the serving acceptance test: 64
+// concurrent clients against a 2-shard pool must get exactly the answers
+// serial single-document AutoTag calls give for the same inputs, and the
+// dispatcher's own counters must show real batching (mean batch size > 1).
+func TestServerMatchesSerialUnderLoad(t *testing.T) {
+	queries := []string{
+		"a new album with a soft piano melody",
+		"booking a flight and a hotel for the island",
+		"a bread recipe with yeast and flour",
+		"drum track with a heavy bass rhythm",
+		"a map of the city museum tour",
+		"grill the steak with garlic sauce",
+	}
+	serial := buildTrained(t)
+	want := make([]string, len(queries))
+	for i, q := range queries {
+		tags, err := serial.AutoTag(q)
+		if err != nil {
+			t.Fatalf("serial AutoTag(%q): %v", q, err)
+		}
+		want[i] = fmt.Sprint(tags)
+	}
+
+	srv, err := NewReplicatedServer(2, ServerConfig{MaxBatch: 16, MaxDelay: 0}, func(int) (*Tagger, error) {
+		return buildTrained(t), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const clients = 64
+	errc := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		go func(c int) {
+			for r := 0; r < len(queries); r++ {
+				i := (c + r) % len(queries)
+				tags, err := srv.Tag(context.Background(), queries[i])
+				if err != nil {
+					errc <- fmt.Errorf("client %d: %v", c, err)
+					return
+				}
+				if got := fmt.Sprint(tags); got != want[i] {
+					errc <- fmt.Errorf("client %d: query %d: batched %v != serial %v", c, i, got, want[i])
+					return
+				}
+			}
+			errc <- nil
+		}(c)
+	}
+	for c := 0; c < clients; c++ {
+		if err := <-errc; err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	st := srv.Stats()
+	total := int64(clients * len(queries))
+	if st.Requests != total || st.Served != total {
+		t.Errorf("requests %d served %d, want %d", st.Requests, st.Served, total)
+	}
+	if st.MeanBatchSize <= 1 {
+		t.Errorf("mean batch size %.2f, want > 1 under %d concurrent clients", st.MeanBatchSize, clients)
+	}
+	if st.Errors != 0 {
+		t.Errorf("errors = %d", st.Errors)
+	}
+	if st.Network.Messages == 0 || st.Network.Bytes == 0 {
+		t.Errorf("no swarm traffic aggregated: %+v", st.Network)
+	}
+	if st.Shards != 2 {
+		t.Errorf("shards = %d", st.Shards)
+	}
+
+	srv.Close()
+	if _, err := srv.Tag(context.Background(), "late"); !errors.Is(err, ErrServerClosed) {
+		t.Errorf("Tag after Close = %v, want ErrServerClosed", err)
+	}
+	if st := srv.Stats(); st.Served != st.Requests {
+		t.Errorf("Close left work undone: %+v", st)
+	}
+}
