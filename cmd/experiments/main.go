@@ -5,12 +5,15 @@
 //
 // Usage:
 //
-//	experiments [-quick] [-max-peers N] [-only E4] [-parallel N] [-seed S] [-out results.md]
+//	experiments [-quick] [-max-peers N] [-only E4] [-parallel N] [-shards K] [-seed S] [-out results.md]
 //
 // Sweeps fan their cells out over -parallel workers (default: all cores;
 // 1 reproduces the old serial behavior) and render byte-identical tables
-// at any worker count. -seed re-seeds the whole sweep, deriving an
-// independent seed per cell; 0 keeps the committed EXPERIMENTS.md seed.
+// at any worker count. -shards additionally parallelizes within each
+// simulated network (conservative PDES; worthwhile for few, very large
+// networks — tables stay byte-identical). -seed re-seeds the whole sweep,
+// deriving an independent seed per cell; 0 keeps the committed
+// EXPERIMENTS.md seed.
 package main
 
 import (
@@ -34,6 +37,7 @@ func main() {
 	out := flag.String("out", "", "also write results as markdown to this file")
 	parallel := flag.Int("parallel", 0, "worker count for sweep cells (0 = all cores, 1 = serial)")
 	seedFlag := flag.Int64("seed", 0, "re-seed the sweep, deriving independent per-cell seeds (0 = committed seed)")
+	shards := flag.Int("shards", 1, "event-loop shards inside each simulated network (tables are identical at any value)")
 	flag.Parse()
 
 	sc := experiments.DefaultScale()
@@ -45,6 +49,7 @@ func main() {
 	}
 	sc.Parallel = *parallel
 	sc.Seed = *seedFlag
+	sc.Shards = *shards
 
 	type entry struct {
 		id  string

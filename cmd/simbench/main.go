@@ -1,0 +1,142 @@
+// Command simbench measures the sharded simulator's wall-clock scaling: it
+// runs the same message-heavy token-passing workload at a series of shard
+// counts, verifies every run produces the identical checksum and stats
+// (the PDES determinism contract), and reports events/second plus the
+// speedup over the serial run. With -json it writes the results as a
+// machine-readable artifact — the simulator's entry in the repository's
+// performance trajectory, next to BENCH_serving.json.
+//
+// Usage:
+//
+//	simbench [-peers 512] [-shards 1,2,4,8] [-ttl 40] [-work 64] [-json BENCH_simnet.json]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/simnet"
+)
+
+type run struct {
+	Shards     int     `json:"shards"`
+	Events     int     `json:"events"`
+	Seconds    float64 `json:"seconds"`
+	EventsPerS float64 `json:"events_per_s"`
+	Speedup    float64 `json:"speedup_vs_serial"`
+	Checksum   string  `json:"checksum"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("simbench: ")
+	var (
+		peers     = flag.Int("peers", 512, "simulated network size")
+		shardList = flag.String("shards", "1,2,4,8", "comma-separated shard counts to measure")
+		ttl       = flag.Int("ttl", 40, "hops per token")
+		tokens    = flag.Int("tokens", 0, "concurrent tokens (0 = one per peer)")
+		work      = flag.Int("work", 64, "hash-mix rounds per delivery (simulated handler CPU)")
+		reps      = flag.Int("reps", 3, "repetitions per shard count (best time wins)")
+		seed      = flag.Int64("seed", 1, "workload seed")
+		jsonPath  = flag.String("json", "", "write results to this JSON file")
+	)
+	flag.Parse()
+
+	var counts []int
+	for _, f := range strings.Split(*shardList, ",") {
+		k, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || k < 1 {
+			log.Fatalf("bad -shards entry %q", f)
+		}
+		counts = append(counts, k)
+	}
+
+	cfg := simnet.WorkloadConfig{
+		Nodes:  *peers,
+		Tokens: *tokens,
+		TTL:    *ttl,
+		Work:   *work,
+		Seed:   *seed,
+	}
+	var runs []run
+	var refSum uint64
+	var refStats simnet.Stats
+	for i, k := range counts {
+		c := cfg
+		c.Shards = k
+		best := time.Duration(1<<62 - 1)
+		events := 0
+		var sum uint64
+		var stats simnet.Stats
+		for r := 0; r < *reps; r++ {
+			w := simnet.NewWorkload(c)
+			start := time.Now()
+			n := w.Run()
+			if d := time.Since(start); d < best {
+				best = d
+			}
+			events, sum, stats = n, w.Checksum(), w.Net.Stats()
+		}
+		if i == 0 {
+			refSum, refStats = sum, stats
+		} else if sum != refSum {
+			log.Fatalf("shards=%d checksum %x diverges from shards=%d checksum %x — determinism contract broken",
+				k, sum, counts[0], refSum)
+		} else if stats.MessagesDelivered != refStats.MessagesDelivered || stats.BytesSent != refStats.BytesSent {
+			log.Fatalf("shards=%d stats diverge from shards=%d", k, counts[0])
+		}
+		r := run{
+			Shards:   k,
+			Events:   events,
+			Seconds:  best.Seconds(),
+			Checksum: fmt.Sprintf("%016x", sum),
+		}
+		if r.Seconds > 0 {
+			r.EventsPerS = float64(events) / r.Seconds
+		}
+		runs = append(runs, r)
+	}
+	// Speedups relative to the shards=1 run when measured, else to the
+	// first run — computed after the sweep so the -shards order is free.
+	baseline := runs[0].Seconds
+	for _, r := range runs {
+		if r.Shards == 1 {
+			baseline = r.Seconds
+			break
+		}
+	}
+	for i := range runs {
+		if baseline > 0 && runs[i].Seconds > 0 {
+			runs[i].Speedup = baseline / runs[i].Seconds
+		}
+		log.Printf("shards=%-2d  %8d events  %8.1f ms  %9.0f events/s  speedup %.2fx",
+			runs[i].Shards, runs[i].Events, runs[i].Seconds*1e3, runs[i].EventsPerS, runs[i].Speedup)
+	}
+	log.Printf("all shard counts agreed on checksum %016x (GOMAXPROCS=%d)", refSum, runtime.GOMAXPROCS(0))
+
+	if *jsonPath != "" {
+		payload := map[string]any{
+			"benchmark":  "simbench",
+			"peers":      *peers,
+			"ttl":        *ttl,
+			"work":       *work,
+			"gomaxprocs": runtime.GOMAXPROCS(0),
+			"runs":       runs,
+		}
+		data, err := json.MarshalIndent(payload, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*jsonPath, append(data, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote %s", *jsonPath)
+	}
+}

@@ -57,6 +57,33 @@
 // TestAutoTagBatchMatchesSerial) and the suite is race-clean under
 // "go test -race ./...".
 //
+// # Parallel simulation
+//
+// The simulator itself (internal/simnet) is a sharded conservative
+// parallel discrete-event engine (PDES), so one large network can also be
+// split across cores — orthogonal to the sweep- and peer-level parallelism
+// above, and the piece that makes >512-peer message-heavy simulations
+// tractable. Nodes partition over Config.Shards shards by id; each shard
+// owns an event heap and clock. Virtual time advances in barrier-
+// synchronized windows one lookahead wide — the lookahead is the latency
+// model's minimum link delay, so no message sent inside a window can be
+// due before the window ends — and within a window the shards execute
+// concurrently on internal/runner workers, exchanging cross-shard messages
+// through mailboxes that merge at the barrier. System events (churn,
+// stabilizers) run alone at global barriers.
+//
+// The determinism contract is the same as everywhere else in the repo:
+// stats, experiment tables and tag assignments are byte-identical at every
+// shard count, because events are ordered by (time, creating node,
+// per-node counter) rather than by arrival, and every node draws latency
+// jitter, drop decisions and churn sessions from a private stream derived
+// via runner.DeriveSeed(seed, nodeID). The knob threads through every
+// layer: doctagger.Config.Shards, p2pdmt.Config.Shards,
+// experiments.Scale.Shards, "cmd/experiments -shards" and
+// "cmd/p2pdmt -shards"; cmd/simbench measures the wall-clock scaling and
+// verifies the checksums agree (BenchmarkSimnetShards is the in-tree
+// equivalent).
+//
 // # Serving
 //
 // A Tagger is not safe for concurrent use; a Server is. Server (backed by

@@ -44,9 +44,11 @@ type Centralized struct {
 	dirty  bool           // pool changed since last training
 	models map[string]*svm.LinearModel
 	platt  map[string]svm.PlattParams
-	// pending queries awaiting coordinator answers.
-	pending map[uint64]func([]metrics.ScoredTag, bool)
-	nextReq uint64
+	// pending queries awaiting coordinator answers, bucketed by origin so
+	// an answer handled at its origin touches only that origin's bucket
+	// (required by the sharded simulator).
+	pending map[simnet.NodeID]map[uint64]func([]metrics.ScoredTag, bool)
+	nextReq map[simnet.NodeID]uint64
 }
 
 type uploadMsg struct{ docs []protocol.Doc }
@@ -71,11 +73,13 @@ func NewCentralized(net *simnet.Network, ids []simnet.NodeID, cfg CentralizedCon
 		cfg:     cfg,
 		net:     net,
 		docs:    make(map[simnet.NodeID][]protocol.Doc),
-		pending: make(map[uint64]func([]metrics.ScoredTag, bool)),
+		pending: make(map[simnet.NodeID]map[uint64]func([]metrics.ScoredTag, bool), len(ids)),
+		nextReq: make(map[simnet.NodeID]uint64, len(ids)),
 	}
 	c.order = append(c.order, ids...)
 	sort.Slice(c.order, func(i, j int) bool { return c.order[i] < c.order[j] })
 	for _, id := range c.order {
+		c.pending[id] = make(map[uint64]func([]metrics.ScoredTag, bool))
 		nodeID := id
 		net.AddNode(id, simnet.HandlerFunc(func(nn *simnet.Network, m simnet.Message) {
 			c.handle(nodeID, m)
@@ -143,11 +147,11 @@ func (c *Centralized) handle(self simnet.NodeID, m simnet.Message) {
 		})
 	case "central.answer":
 		a := m.Payload.(centralAnswer)
-		cb, ok := c.pending[a.req]
+		cb, ok := c.pending[self][a.req]
 		if !ok {
 			return
 		}
-		delete(c.pending, a.req)
+		delete(c.pending[self], a.req)
 		out := make([]metrics.ScoredTag, 0, len(a.scores))
 		for tag, sc := range a.scores {
 			out = append(out, metrics.ScoredTag{Tag: tag, Score: sc})
@@ -217,9 +221,9 @@ func (c *Centralized) Predict(from simnet.NodeID, x *vector.Sparse, cb func([]me
 		cb(scores, true)
 		return
 	}
-	req := c.nextReq
-	c.nextReq++
-	c.pending[req] = cb
+	req := c.nextReq[from]
+	c.nextReq[from]++
+	c.pending[from][req] = cb
 	c.net.Send(simnet.Message{
 		From: from, To: c.cfg.Coordinator, Kind: "central.query",
 		Size:    x.WireSize() + 16,

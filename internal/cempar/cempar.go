@@ -100,6 +100,11 @@ type peerState struct {
 	regionalWeight map[string]float64
 	regionalPlatt  map[string]svm.PlattParams
 	cascadePending bool
+	// Querying role: outstanding Predict aggregations. Kept per peer (not
+	// on the System) so answers and timeouts — which always execute at the
+	// origin — touch only the origin's state under the sharded simulator.
+	pending map[uint64]*pendingQuery
+	nextReq uint64
 }
 
 type modelsMsg struct {
@@ -137,12 +142,10 @@ type pendingQuery struct {
 
 // System is a CEMPaR deployment over a DHT ring.
 type System struct {
-	cfg     Config
-	d       *dht.DHT
-	net     *simnet.Network
-	peers   map[simnet.NodeID]*peerState
-	pending map[uint64]*pendingQuery
-	nextReq uint64
+	cfg   Config
+	d     *dht.DHT
+	net   *simnet.Network
+	peers map[simnet.NodeID]*peerState
 }
 
 // New builds the protocol over an existing DHT whose application messages
@@ -151,11 +154,10 @@ type System struct {
 func New(d *dht.DHT, cfg Config) *System {
 	cfg.defaults()
 	s := &System{
-		cfg:     cfg,
-		d:       d,
-		net:     d.Network(),
-		peers:   make(map[simnet.NodeID]*peerState),
-		pending: make(map[uint64]*pendingQuery),
+		cfg:   cfg,
+		d:     d,
+		net:   d.Network(),
+		peers: make(map[simnet.NodeID]*peerState),
 	}
 	for _, id := range d.Peers() {
 		s.peers[id] = &peerState{
@@ -165,6 +167,7 @@ func New(d *dht.DHT, cfg Config) *System {
 			regional:       make(map[string]*svm.KernelModel),
 			regionalWeight: make(map[string]float64),
 			regionalPlatt:  make(map[string]svm.PlattParams),
+			pending:        make(map[uint64]*pendingQuery),
 		}
 	}
 	return s
@@ -308,7 +311,7 @@ func (s *System) handle(self simnet.NodeID, m simnet.Message) {
 	case "cempar.query":
 		s.onQuery(self, m.Payload.(queryMsg))
 	case "cempar.answer":
-		s.onAnswer(m.Payload.(answerMsg))
+		s.onAnswer(self, m.Payload.(answerMsg))
 	}
 }
 
@@ -460,15 +463,16 @@ func (s *System) Predict(from simnet.NodeID, x *vector.Sparse, cb func([]metrics
 			regions = append(regions, r)
 		}
 	}
-	req := s.nextReq
-	s.nextReq++
+	origin := s.peers[from]
+	req := origin.nextReq
+	origin.nextReq++
 	pq := &pendingQuery{
 		expected:  len(regions),
 		scoreSum:  make(map[string]float64),
 		weightSum: make(map[string]float64),
 		cb:        cb,
 	}
-	s.pending[req] = pq
+	origin.pending[req] = pq
 	for _, r := range regions {
 		key := dht.SuperPeerKey(r, s.cfg.Regions)
 		_ = s.d.Lookup(from, key, func(lr dht.LookupResult) {
@@ -483,7 +487,7 @@ func (s *System) Predict(from simnet.NodeID, x *vector.Sparse, cb func([]metrics
 		})
 	}
 	// Conclude after the timeout with whatever answers arrived.
-	s.net.Schedule(from, s.cfg.QueryTimeout, func() { s.finalize(req) })
+	s.net.Schedule(from, s.cfg.QueryTimeout, func() { s.finalize(from, req) })
 }
 
 // onQuery evaluates the regional models at a super-peer and replies.
@@ -509,8 +513,8 @@ func (s *System) onQuery(self simnet.NodeID, q queryMsg) {
 }
 
 // onAnswer accumulates one super-peer's vote at the origin.
-func (s *System) onAnswer(a answerMsg) {
-	pq, ok := s.pending[a.req]
+func (s *System) onAnswer(self simnet.NodeID, a answerMsg) {
+	pq, ok := s.peers[self].pending[a.req]
 	if !ok || pq.done {
 		return
 	}
@@ -521,17 +525,18 @@ func (s *System) onAnswer(a answerMsg) {
 	}
 	pq.received++
 	if pq.received >= pq.expected {
-		s.finalize(a.req)
+		s.finalize(self, a.req)
 	}
 }
 
-func (s *System) finalize(req uint64) {
-	pq, ok := s.pending[req]
+func (s *System) finalize(origin simnet.NodeID, req uint64) {
+	p := s.peers[origin]
+	pq, ok := p.pending[req]
 	if !ok || pq.done {
 		return
 	}
 	pq.done = true
-	delete(s.pending, req)
+	delete(p.pending, req)
 	if pq.received == 0 {
 		pq.cb(nil, false)
 		return

@@ -56,13 +56,17 @@ const (
 	stabilizeMsgSize = 24
 )
 
-// peer is the per-node DHT state.
+// peer is the per-node DHT state. Lookup bookkeeping lives here rather
+// than on the DHT so that, under the sharded simulator, a reply handled at
+// its origin touches only the origin's own state.
 type peer struct {
 	id         simnet.NodeID
 	hash       Hash
 	fingers    []simnet.NodeID // fingers[i] = successor(hash + 2^i)
 	successors []simnet.NodeID
 	app        simnet.Handler // application handler for non-DHT messages
+	pending    map[uint64]func(LookupResult)
+	nextReq    uint64
 }
 
 // LookupResult is delivered to the lookup origin.
@@ -78,12 +82,13 @@ type LookupResult struct {
 // DHT manages the ring. All peers live in one simulation process; each
 // keeps its own finger-table snapshot, so routing state can go stale under
 // churn until Stabilize runs — exactly the failure mode the churn
-// experiments probe.
+// experiments probe. While the clock runs, a peer's handlers mutate only
+// that peer's state (other peers' fingers are read-only between
+// stabilization rounds), which is what lets the sharded simulator execute
+// peers concurrently.
 type DHT struct {
-	net     *simnet.Network
-	peers   map[simnet.NodeID]*peer
-	pending map[uint64]func(LookupResult)
-	nextReq uint64
+	net   *simnet.Network
+	peers map[simnet.NodeID]*peer
 }
 
 // lookupPayload travels inside simnet messages.
@@ -105,12 +110,11 @@ type replyPayload struct {
 // join protocol).
 func New(net *simnet.Network, ids []simnet.NodeID, app func(id simnet.NodeID) simnet.Handler) *DHT {
 	d := &DHT{
-		net:     net,
-		peers:   make(map[simnet.NodeID]*peer, len(ids)),
-		pending: make(map[uint64]func(LookupResult)),
+		net:   net,
+		peers: make(map[simnet.NodeID]*peer, len(ids)),
 	}
 	for _, id := range ids {
-		p := &peer{id: id, hash: HashNode(id)}
+		p := &peer{id: id, hash: HashNode(id), pending: make(map[uint64]func(LookupResult))}
 		if app != nil {
 			p.app = app(id)
 		}
@@ -190,9 +194,11 @@ func (d *DHT) handle(self simnet.NodeID, net *simnet.Network, m simnet.Message) 
 		d.route(self, m.Payload.(lookupPayload))
 	case "dht.reply":
 		pl := m.Payload.(replyPayload)
-		if cb, ok := d.pending[pl.req]; ok {
-			delete(d.pending, pl.req)
-			cb(pl.res)
+		if p := d.peers[self]; p != nil {
+			if cb, ok := p.pending[pl.req]; ok {
+				delete(p.pending, pl.req)
+				cb(pl.res)
+			}
 		}
 	case "dht.stabilize":
 		// Maintenance traffic carries no application action.
@@ -214,9 +220,9 @@ func (d *DHT) Lookup(origin simnet.NodeID, key Hash, cb func(LookupResult)) erro
 	if !d.net.Alive(origin) {
 		return fmt.Errorf("dht: origin %d is down", origin)
 	}
-	req := d.nextReq
-	d.nextReq++
-	d.pending[req] = cb
+	req := p.nextReq
+	p.nextReq++
+	p.pending[req] = cb
 	d.routeFrom(p, lookupPayload{key: key, origin: origin, req: req})
 	return nil
 }
@@ -259,8 +265,8 @@ func (d *DHT) routeFrom(p *peer, pl lookupPayload) {
 // directly when the origin answered its own query).
 func (d *DHT) reply(p *peer, pl lookupPayload, res LookupResult) {
 	if pl.origin == p.id {
-		if cb, ok := d.pending[pl.req]; ok {
-			delete(d.pending, pl.req)
+		if cb, ok := p.pending[pl.req]; ok {
+			delete(p.pending, pl.req)
 			cb(res)
 		}
 		return

@@ -43,6 +43,13 @@ type Scale struct {
 	// streams. 0 reproduces the committed EXPERIMENTS.md tables, which
 	// run every cell at the paper reproduction's fixed seed.
 	Seed int64
+	// Shards is the number of event-loop shards inside each cell's
+	// simulated network (conservative PDES). 0 or 1 keeps the simulations
+	// serial — the right choice when Parallel already fans the cells over
+	// the cores; values > 1 parallelize within each simulation, which pays
+	// off for few, very large networks. Tables are byte-identical at every
+	// setting.
+	Shards int
 }
 
 // DefaultScale reproduces the committed EXPERIMENTS.md numbers.
@@ -95,6 +102,7 @@ func baseConfig(proto p2pdmt.ProtocolKind, peers int, sc Scale, coords ...string
 		EvalDocs: sc.EvalDocs,
 		Seed:     sc.cellSeed(coords...),
 		Parallel: 1, // cells are the unit of parallelism in a sweep
+		Shards:   sc.Shards,
 	}
 }
 
@@ -321,7 +329,7 @@ func E7Topology(sc Scale) (*p2pdmt.Table, error) {
 		for _, mode := range []string{"flood", "gossip"} {
 			jobs = append(jobs, func() ([][]any, error) {
 				cellSeed := sc.cellSeed("E7", mode, fmt.Sprint(n))
-				net := simnet.New(simnet.Options{Latency: simnet.FixedLatency(20 * time.Millisecond), Seed: cellSeed})
+				net := simnet.New(simnet.Options{Latency: simnet.FixedLatency(20 * time.Millisecond), Seed: cellSeed, Shards: sc.Shards})
 				ids := make([]simnet.NodeID, n)
 				for i := range ids {
 					ids[i] = simnet.NodeID(i)
@@ -340,7 +348,7 @@ func E7Topology(sc Scale) (*p2pdmt.Table, error) {
 		}
 		// Locate: DHT routed lookup.
 		jobs = append(jobs, func() ([][]any, error) {
-			net := simnet.New(simnet.Options{Latency: simnet.FixedLatency(20 * time.Millisecond), Seed: sc.cellSeed("E7", "dht", fmt.Sprint(n))})
+			net := simnet.New(simnet.Options{Latency: simnet.FixedLatency(20 * time.Millisecond), Seed: sc.cellSeed("E7", "dht", fmt.Sprint(n)), Shards: sc.Shards})
 			ids := make([]simnet.NodeID, n)
 			for i := range ids {
 				ids[i] = simnet.NodeID(i)

@@ -69,6 +69,7 @@ func E10Refinement(sc Scale) (*p2pdmt.Table, error) {
 				Regions:  2,
 				Seed:     sc.cellSeed("E10", fmt.Sprint(rounds)),
 				Parallel: 1, // the sweep's cells own the cores
+				Shards:   sc.Shards,
 			})
 			if err != nil {
 				return nil, err
@@ -160,6 +161,7 @@ func F4TagCloud(sc Scale) (*p2pdmt.Table, string, error) {
 	tg, err := doctagger.New(doctagger.Config{
 		Protocol: doctagger.ProtocolCEMPaR, Peers: peers, Regions: 2,
 		Seed: sc.cellSeed("F4"), Parallel: 1, // sweep cells own the cores
+		Shards: sc.Shards,
 	})
 	if err != nil {
 		return nil, "", err

@@ -8,7 +8,9 @@ package overlay
 import (
 	"math/rand"
 	"sort"
+	"strconv"
 
+	"repro/internal/runner"
 	"repro/internal/simnet"
 )
 
@@ -35,14 +37,19 @@ type Handler func(net *simnet.Network, from simnet.NodeID, kind string, payload 
 
 // Overlay is an unstructured random-graph overlay. Like the DHT, all peers
 // share one Overlay object but each keeps only local state (its neighbor
-// list and duplicate-suppression cache).
+// list, duplicate-suppression cache and gossip stream), so peers on
+// different simulator shards can forward broadcasts concurrently.
 type Overlay struct {
 	net       *simnet.Network
 	neighbors map[simnet.NodeID][]simnet.NodeID
 	seen      map[simnet.NodeID]map[uint64]bool
 	handler   Handler
 	nextID    uint64
-	rng       *rand.Rand
+	rng       *rand.Rand // graph construction only
+	// gossipRng holds each peer's private fanout-selection stream, derived
+	// from the overlay seed and the peer id so gossip routes are
+	// independent of shard placement.
+	gossipRng map[simnet.NodeID]*rand.Rand
 }
 
 // New builds a connected random graph over ids and registers message
@@ -60,6 +67,7 @@ func New(net *simnet.Network, ids []simnet.NodeID, h Handler, opts Options) *Ove
 		seen:      make(map[simnet.NodeID]map[uint64]bool, len(ids)),
 		handler:   h,
 		rng:       rand.New(rand.NewSource(opts.Seed)),
+		gossipRng: make(map[simnet.NodeID]*rand.Rand, len(ids)),
 	}
 	sorted := append([]simnet.NodeID(nil), ids...)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
@@ -86,6 +94,7 @@ func New(net *simnet.Network, ids []simnet.NodeID, h Handler, opts Options) *Ove
 	}
 	for _, id := range sorted {
 		o.seen[id] = make(map[uint64]bool)
+		o.gossipRng[id] = rand.New(rand.NewSource(runner.DeriveSeed(opts.Seed, "gossip", strconv.Itoa(int(id)))))
 		nodeID := id
 		net.AddNode(id, simnet.HandlerFunc(func(nn *simnet.Network, m simnet.Message) {
 			o.handle(nodeID, nn, m)
@@ -167,7 +176,7 @@ func (o *Overlay) push(self simnet.NodeID, env envelope, fanout int) {
 	if len(nbs) == 0 {
 		return
 	}
-	perm := o.rng.Perm(len(nbs))
+	perm := o.gossipRng[self].Perm(len(nbs))
 	for i := 0; i < fanout && i < len(nbs); i++ {
 		nb := nbs[perm[i]]
 		o.net.Send(simnet.Message{

@@ -1,6 +1,7 @@
 package p2pdmt
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 	"time"
@@ -102,6 +103,41 @@ func TestRunParallelMatchesSerial(t *testing.T) {
 			serial.QueryCost != parallel.QueryCost ||
 			serial.TrainSimTime != parallel.TrainSimTime {
 			t.Errorf("%s: parallel run not bit-identical to serial", proto)
+		}
+	}
+}
+
+// digest flattens every observable of a Result into one comparable string.
+func digest(r *Result) string {
+	return fmt.Sprintf("%s|microF1=%v|macroF1=%v|P@1=%v|oneErr=%v|train=%+v|query=%+v|simTime=%v|failed=%d|total=%d|skipped=%d|liveness=%q",
+		r.String(), r.Eval.MicroF1(), r.Eval.MacroF1(), r.MeanP1, r.OneError,
+		r.TrainCost, r.QueryCost, r.TrainSimTime, r.FailedQueries, r.TotalQueries,
+		r.SkippedOffline, r.LivenessMap)
+}
+
+// TestRunShardInvariant is the PDES determinism contract at the toolkit
+// layer: a full experiment — corpus, training traffic, churn, queries —
+// must produce byte-identical results at every simulator shard count, for
+// a DHT-routed protocol (CEMPaR) and a broadcast protocol (PACE) alike.
+func TestRunShardInvariant(t *testing.T) {
+	for _, proto := range []ProtocolKind{ProtoCEMPaR, ProtoPACE} {
+		ref := ""
+		for _, shards := range []int{1, 2, 4} {
+			cfg := fastConfig(proto)
+			cfg.Shards = shards
+			cfg.Churn = simnet.ExponentialChurn{MeanUptime: 2 * time.Minute, MeanDowntime: 30 * time.Second}
+			res, err := Run(cfg)
+			if err != nil {
+				t.Fatalf("%s shards=%d: %v", proto, shards, err)
+			}
+			d := digest(res)
+			if shards == 1 {
+				ref = d
+				continue
+			}
+			if d != ref {
+				t.Errorf("%s: shards=%d diverges from shards=1:\n got %s\nwant %s", proto, shards, d, ref)
+			}
 		}
 	}
 }

@@ -273,6 +273,13 @@ func (s *System) handle(self simnet.NodeID, m simnet.Message) {
 // indexes its centroids ("peers index the models using the centroids
 // (based on locality sensitive hashing)"). Centroids are hashed once
 // globally; see the System doc comment.
+//
+// Shard-safety invariant: the shared index only changes when a model-set
+// version is first seen, which happens at serial points (Fit and Refine
+// index the sender's own set before broadcasting it). A delivery-time
+// ingest always finds the version already indexed and touches only the
+// receiving peer's knowledge set, so concurrent deliveries on different
+// simulator shards never race on the index.
 func (s *System) ingest(self simnet.NodeID, ms *modelSet) {
 	p := s.peers[self]
 	p.remote[ms.from] = ms

@@ -3,7 +3,10 @@ package simnet
 import (
 	"math"
 	"math/rand"
+	"strconv"
 	"time"
+
+	"repro/internal/runner"
 )
 
 // SessionModel draws node session (up) and downtime durations for a churn
@@ -77,11 +80,15 @@ func (c ParetoChurn) Downtime(rng *rand.Rand) time.Duration {
 
 // ChurnProcess drives a set of nodes up and down on a Network using a
 // SessionModel. Create one with StartChurn; it schedules itself using
-// system events so it keeps running while nodes are down.
+// system events so it keeps running while nodes are down. Every node's
+// session lengths come from a private random stream derived from the run
+// seed and the node id, so the churn schedule is independent of message
+// traffic and of the network's shard count.
 type ChurnProcess struct {
 	net     *Network
 	model   SessionModel
 	nodes   []NodeID
+	rngs    map[NodeID]*rand.Rand
 	stopped bool
 }
 
@@ -91,11 +98,12 @@ func StartChurn(net *Network, model SessionModel, nodes []NodeID) *ChurnProcess 
 	if nodes == nil {
 		nodes = net.Nodes()
 	}
-	cp := &ChurnProcess{net: net, model: model, nodes: nodes}
+	cp := &ChurnProcess{net: net, model: model, nodes: nodes, rngs: make(map[NodeID]*rand.Rand, len(nodes))}
 	if _, ok := model.(NoChurn); ok {
 		return cp // nothing to schedule
 	}
 	for _, id := range nodes {
+		cp.rngs[id] = rand.New(rand.NewSource(runner.DeriveSeed(net.seed, "churn", strconv.Itoa(int(id)))))
 		cp.scheduleFailure(id)
 	}
 	return cp
@@ -105,7 +113,7 @@ func StartChurn(net *Network, model SessionModel, nodes []NodeID) *ChurnProcess 
 func (cp *ChurnProcess) Stop() { cp.stopped = true }
 
 func (cp *ChurnProcess) scheduleFailure(id NodeID) {
-	up := cp.model.Uptime(cp.net.Rand())
+	up := cp.model.Uptime(cp.rngs[id])
 	cp.net.ScheduleSystem(up, func() {
 		if cp.stopped {
 			return
@@ -116,7 +124,7 @@ func (cp *ChurnProcess) scheduleFailure(id NodeID) {
 }
 
 func (cp *ChurnProcess) scheduleRecovery(id NodeID) {
-	down := cp.model.Downtime(cp.net.Rand())
+	down := cp.model.Downtime(cp.rngs[id])
 	if down <= 0 {
 		down = time.Millisecond
 	}

@@ -5,17 +5,51 @@
 // message is charged its wire size, and churn processes take nodes up and
 // down according to session-length distributions.
 //
-// The simulator is single-threaded and driven by a virtual clock, so runs
-// are exactly reproducible for a given seed.
+// # Parallel simulation
+//
+// The engine is a sharded conservative parallel discrete-event simulator
+// (PDES). Nodes are partitioned over Options.Shards shards by NodeID; each
+// shard owns an event heap, a clock and traffic counters. Virtual time
+// advances in barrier-synchronized windows whose width is the lookahead —
+// the minimum one-way link latency reported by the latency model — so a
+// message sent inside a window can never be due before the window ends,
+// and the shards may execute a window concurrently without ever seeing an
+// event out of order. Cross-shard messages travel through per-shard
+// mailboxes that merge at the window barrier; system events (churn,
+// stabilizers) run alone at global barriers at their exact timestamps.
+//
+// The determinism contract: a run's observable results — Stats, per-node
+// message sequences, protocol outcomes — are byte-identical at every shard
+// count, including Shards=1, which replaces the earlier serial engine.
+// Three disciplines make that hold:
+//
+//  1. Every event is keyed (time, creating node, per-node counter), so the
+//     execution order within a shard — and the merged global order — does
+//     not depend on shard count or real-time interleaving.
+//  2. Every node draws its latency jitter and message-loss decisions from
+//     a private random stream derived via runner.DeriveSeed(seed, node),
+//     so a node's draws are a pure function of its own event history, not
+//     of shard placement. Churn draws likewise come from per-node streams.
+//  3. During a window a handler may act only as its own node: it may Send
+//     messages from itself and Schedule timers on itself, but must not
+//     call ScheduleSystem, Kill, Revive, AddNode or RemoveNode (the engine
+//     panics if it does), and must not touch another node's mutable state.
+//     System events and code running between Run calls may act as anyone.
+//
+// Handlers on different shards execute concurrently, so protocol state
+// shared between nodes must be read-only while the clock runs (per-node
+// state needs no locking — a node's events never run concurrently with
+// each other).
 package simnet
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 	"sort"
-	"sync"
+	"strconv"
 	"time"
+
+	"repro/internal/runner"
 )
 
 // NodeID identifies a simulated node.
@@ -54,6 +88,15 @@ type LatencyModel interface {
 	Delay(rng *rand.Rand, from, to NodeID) time.Duration
 }
 
+// MinDelayer is an optional LatencyModel extension reporting a lower bound
+// on Delay. The sharded engine uses it as the conservative lookahead: with
+// a positive minimum delay, shards can execute a window of that width in
+// parallel without risking an out-of-order delivery. Models that do not
+// implement it (or report a non-positive bound) force serial execution.
+type MinDelayer interface {
+	MinDelay() time.Duration
+}
+
 // FixedLatency delays every message by a constant.
 type FixedLatency time.Duration
 
@@ -61,6 +104,9 @@ type FixedLatency time.Duration
 func (f FixedLatency) Delay(*rand.Rand, NodeID, NodeID) time.Duration {
 	return time.Duration(f)
 }
+
+// MinDelay implements MinDelayer.
+func (f FixedLatency) MinDelay() time.Duration { return time.Duration(f) }
 
 // UniformLatency draws delays uniformly from [Min, Max].
 type UniformLatency struct {
@@ -74,6 +120,9 @@ func (u UniformLatency) Delay(rng *rand.Rand, _, _ NodeID) time.Duration {
 	}
 	return u.Min + time.Duration(rng.Int63n(int64(u.Max-u.Min)))
 }
+
+// MinDelay implements MinDelayer.
+func (u UniformLatency) MinDelay() time.Duration { return u.Min }
 
 // ClusteredLatency models a two-level topology: nodes in the same cluster
 // (id / ClusterSize) see Local delay, others see Remote delay, both with
@@ -99,39 +148,24 @@ func (c ClusteredLatency) Delay(rng *rand.Rand, from, to NodeID) time.Duration {
 	return base
 }
 
-// event is a scheduled occurrence: either a message delivery or a timer.
-type event struct {
-	at    time.Duration
-	seq   uint64 // tie-break for determinism
-	msg   *Message
-	fn    func()
-	owner NodeID // for timers: skip if owner is down (unless system timer)
-	sys   bool   // system events (churn) fire regardless of liveness
-}
-
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// MinDelay implements MinDelayer.
+func (c ClusteredLatency) MinDelay() time.Duration {
+	min := c.Local
+	if c.Remote < min {
+		min = c.Remote
 	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
+	min -= c.Jitter
+	if min < 0 {
+		min = 0
+	}
+	return min
 }
 
 type node struct {
 	handler Handler
 	alive   bool
+	rng     *rand.Rand // private stream: latency jitter and drop decisions
+	seq     uint64     // event-creation counter (the deterministic tie-break)
 }
 
 // Stats accumulates traffic and liveness counters for a run.
@@ -162,8 +196,19 @@ type Options struct {
 	Latency LatencyModel
 	// DropRate is the probability a message is silently lost in transit.
 	DropRate float64
-	// Seed drives latency jitter, drops and churn.
+	// Seed drives latency jitter, drops and churn. Every node's private
+	// stream is derived from it with runner.DeriveSeed.
 	Seed int64
+	// Shards is the number of event-loop shards the nodes are partitioned
+	// over. Values <= 1 keep the event loop on the calling goroutine;
+	// larger values execute lookahead windows concurrently on that many
+	// workers. Results are byte-identical at every setting — sharding is
+	// purely a wall-clock optimization for large, message-heavy networks.
+	Shards int
+	// Lookahead overrides the conservative window width. 0 derives it from
+	// the latency model's MinDelay; models without a positive minimum
+	// delay leave the engine serial regardless of Shards.
+	Lookahead time.Duration
 }
 
 // Network is the simulated physical network. All methods must be called
@@ -173,16 +218,19 @@ type Options struct {
 // /v1/stats endpoint, a benchmark's progress reader) can observe traffic
 // counters while another goroutine drives the virtual clock.
 type Network struct {
-	now     time.Duration
-	seq     uint64
-	queue   eventHeap
-	nodes   map[NodeID]*node
-	latency LatencyModel
-	rng     *rand.Rand
-	drop    float64
-	statsMu sync.Mutex // guards stats; see Stats/ResetStats
-	stats   Stats
-	logf    func(format string, args ...any)
+	now       time.Duration // committed clock; window start while running
+	nodes     map[NodeID]*node
+	latency   LatencyModel
+	drop      float64
+	seed      int64
+	rng       *rand.Rand // setup/system stream; see Rand
+	shards    []*shard
+	scratch   []*shard // reused active-shard list
+	lookahead time.Duration
+	inWindow  bool // a window is executing; guards serial-only methods
+	sysHeap   eventHeap
+	sysSeq    uint64
+	logf      func(format string, args ...any)
 }
 
 // New returns an empty network.
@@ -191,33 +239,70 @@ func New(opts Options) *Network {
 	if lat == nil {
 		lat = FixedLatency(50 * time.Millisecond)
 	}
-	return &Network{
+	k := opts.Shards
+	if k < 1 {
+		k = 1
+	}
+	n := &Network{
 		nodes:   make(map[NodeID]*node),
 		latency: lat,
-		rng:     rand.New(rand.NewSource(opts.Seed)),
 		drop:    opts.DropRate,
-		stats:   newStats(),
+		seed:    opts.Seed,
+		rng:     rand.New(rand.NewSource(opts.Seed)),
+		shards:  make([]*shard, k),
+	}
+	for i := range n.shards {
+		n.shards[i] = &shard{stats: newStats()}
+		n.shards[i].current.Store(noNode)
+	}
+	n.lookahead = opts.Lookahead
+	if n.lookahead <= 0 {
+		if md, ok := lat.(MinDelayer); ok {
+			n.lookahead = md.MinDelay()
+		}
+	}
+	return n
+}
+
+// SetLogf installs an activity logger; nil disables logging. While a
+// logger is installed, window execution stays on the calling goroutine so
+// log lines appear in a deterministic order; results are unchanged.
+func (n *Network) SetLogf(logf func(format string, args ...any)) { n.logf = logf }
+
+func (n *Network) logAt(at time.Duration, format string, args ...any) {
+	if n.logf != nil {
+		n.logf("[%8.3fs] "+format, append([]any{at.Seconds()}, args...)...)
 	}
 }
 
-// SetLogf installs an activity logger; nil disables logging.
-func (n *Network) SetLogf(logf func(format string, args ...any)) { n.logf = logf }
-
-func (n *Network) log(format string, args ...any) {
-	if n.logf != nil {
-		n.logf("[%8.3fs] "+format, append([]any{n.now.Seconds()}, args...)...)
+// serialOnly panics when called during a parallel window: the method
+// mutates cross-node state and is only safe at serial points (between Run
+// calls, or inside system events, which run at global barriers).
+func (n *Network) serialOnly(method string) {
+	if n.inWindow {
+		panic("simnet: " + method + " called from a node event handler; " +
+			"only system events and code between runs may use it")
 	}
 }
 
 // AddNode registers a node with its message handler. Adding an existing id
-// replaces its handler and revives it.
+// replaces its handler, revives it, and resets its private random stream
+// and event counter (a re-added node is a fresh node).
 func (n *Network) AddNode(id NodeID, h Handler) {
-	n.nodes[id] = &node{handler: h, alive: true}
+	n.serialOnly("AddNode")
+	n.nodes[id] = &node{
+		handler: h,
+		alive:   true,
+		rng:     rand.New(rand.NewSource(runner.DeriveSeed(n.seed, "node", strconv.Itoa(int(id))))),
+	}
 }
 
 // RemoveNode deletes a node entirely (distinct from churn, which only marks
 // it down).
-func (n *Network) RemoveNode(id NodeID) { delete(n.nodes, id) }
+func (n *Network) RemoveNode(id NodeID) {
+	n.serialOnly("RemoveNode")
+	delete(n.nodes, id)
+}
 
 // Nodes returns all registered node ids in ascending order.
 func (n *Network) Nodes() []NodeID {
@@ -247,173 +332,175 @@ func (n *Network) Alive(id NodeID) bool {
 	return ok && nd.alive
 }
 
-// Now returns the current virtual time.
+// Now returns the current virtual time. At serial points it is exact;
+// while a window executes it reports the window start (handlers needing
+// exact event times should carry them in message payloads). Its value is
+// identical at every shard count.
 func (n *Network) Now() time.Duration { return n.now }
 
-// Rand exposes the simulation RNG so protocols can make deterministic
-// random choices tied to the run seed.
+// Rand exposes the setup stream: deterministic randomness tied to the run
+// seed for topology construction and other serial-point choices. Handlers
+// must not draw from it during a run — use NodeRand(self) instead, whose
+// draws stay deterministic under sharding.
 func (n *Network) Rand() *rand.Rand { return n.rng }
 
-// Stats returns a snapshot of the accumulated counters. It is safe to call
-// from any goroutine, including while another goroutine runs the
-// simulation.
+// NodeRand returns a node's private random stream, derived from the run
+// seed and the node id. A handler may draw from its own node's stream
+// only; the draws are then a pure function of the node's event history and
+// independent of shard placement. NodeRand panics on unknown ids.
+func (n *Network) NodeRand(id NodeID) *rand.Rand {
+	nd, ok := n.nodes[id]
+	if !ok {
+		panic(fmt.Sprintf("simnet: NodeRand of unknown node %d", id))
+	}
+	return nd.rng
+}
+
+// Stats returns a snapshot of the accumulated counters, summed over the
+// shards. It is safe to call from any goroutine, including while another
+// goroutine runs the simulation. All shard locks are held while the
+// snapshot is taken, so the totals are mutually consistent (a concurrent
+// reader can never observe more deliveries than sends).
 func (n *Network) Stats() Stats {
-	n.statsMu.Lock()
-	defer n.statsMu.Unlock()
-	s := n.stats
-	s.BytesByKind = make(map[string]int64, len(n.stats.BytesByKind))
-	for k, v := range n.stats.BytesByKind {
-		s.BytesByKind[k] = v
+	for _, sh := range n.shards {
+		sh.statsMu.Lock()
 	}
-	s.MessagesByKind = make(map[string]int64, len(n.stats.MessagesByKind))
-	for k, v := range n.stats.MessagesByKind {
-		s.MessagesByKind[k] = v
+	out := newStats()
+	for _, sh := range n.shards {
+		out.MessagesSent += sh.stats.MessagesSent
+		out.MessagesDelivered += sh.stats.MessagesDelivered
+		out.MessagesDropped += sh.stats.MessagesDropped
+		out.BytesSent += sh.stats.BytesSent
+		out.BytesDelivered += sh.stats.BytesDelivered
+		out.Failures += sh.stats.Failures
+		out.Recoveries += sh.stats.Recoveries
+		for k, v := range sh.stats.BytesByKind {
+			out.BytesByKind[k] += v
+		}
+		for k, v := range sh.stats.MessagesByKind {
+			out.MessagesByKind[k] += v
+		}
+		for k, v := range sh.stats.BytesByNode {
+			out.BytesByNode[k] += v
+		}
 	}
-	s.BytesByNode = make(map[NodeID]int64, len(n.stats.BytesByNode))
-	for k, v := range n.stats.BytesByNode {
-		s.BytesByNode[k] = v
+	for _, sh := range n.shards {
+		sh.statsMu.Unlock()
 	}
-	return s
+	return out
 }
 
 // ResetStats zeroes the traffic counters (used between the training and
 // prediction phases of an experiment so each phase is accounted
 // separately). Like Stats, it is safe to call from any goroutine.
 func (n *Network) ResetStats() {
-	n.statsMu.Lock()
-	defer n.statsMu.Unlock()
-	n.stats = newStats()
+	for _, sh := range n.shards {
+		sh.statsMu.Lock()
+	}
+	for _, sh := range n.shards {
+		sh.stats = newStats()
+	}
+	for _, sh := range n.shards {
+		sh.statsMu.Unlock()
+	}
 }
 
 // Send schedules msg for delivery after the model latency. Sending from a
 // dead node is a programming error and panics; sending to a dead or unknown
-// node silently drops (that is what a real network does).
+// node silently drops (that is what a real network does). During a window a
+// handler may send only as its own node.
 func (n *Network) Send(msg Message) {
-	src, ok := n.nodes[msg.From]
-	if !ok || !src.alive {
+	nd, ok := n.nodes[msg.From]
+	if !ok || !nd.alive {
 		panic(fmt.Sprintf("simnet: send from dead or unknown node %d", msg.From))
 	}
-	n.statsMu.Lock()
-	n.stats.MessagesSent++
-	n.stats.BytesSent += int64(msg.Size)
-	n.stats.BytesByKind[msg.Kind] += int64(msg.Size)
-	n.stats.MessagesByKind[msg.Kind]++
-	n.stats.BytesByNode[msg.From] += int64(msg.Size)
-	n.statsMu.Unlock()
-	if n.drop > 0 && n.rng.Float64() < n.drop {
-		n.countDrop()
-		n.log("DROP %s %d->%d (%dB)", msg.Kind, msg.From, msg.To, msg.Size)
+	sh := n.shardOf(msg.From)
+	sh.statsMu.Lock()
+	sh.stats.MessagesSent++
+	sh.stats.BytesSent += int64(msg.Size)
+	sh.stats.BytesByKind[msg.Kind] += int64(msg.Size)
+	sh.stats.MessagesByKind[msg.Kind]++
+	sh.stats.BytesByNode[msg.From] += int64(msg.Size)
+	sh.statsMu.Unlock()
+	base := n.timeAt(sh)
+	if n.drop > 0 && nd.rng.Float64() < n.drop {
+		sh.statsMu.Lock()
+		sh.stats.MessagesDropped++
+		sh.statsMu.Unlock()
+		n.logAt(base, "DROP %s %d->%d (%dB)", msg.Kind, msg.From, msg.To, msg.Size)
 		return
 	}
-	delay := n.latency.Delay(n.rng, msg.From, msg.To)
-	m := msg
-	n.push(&event{at: n.now + delay, msg: &m})
+	delay := n.latency.Delay(nd.rng, msg.From, msg.To)
+	n.push(msg.From, nd, event{at: base + delay, kind: evMsg, msg: msg})
 }
 
 // Schedule runs fn after delay, provided owner is still alive at that time.
+// During a window a handler may schedule only on its own node.
 func (n *Network) Schedule(owner NodeID, delay time.Duration, fn func()) {
-	n.push(&event{at: n.now + delay, fn: fn, owner: owner})
+	e := event{kind: evTimer, owner: owner, fn: fn}
+	if nd, ok := n.nodes[owner]; ok {
+		sh := n.shardOf(owner)
+		e.at = n.timeAt(sh) + delay
+		n.push(owner, nd, e)
+		return
+	}
+	// Unknown owner: the timer is filed under the system counter and
+	// checked for liveness when it fires (where it will be skipped unless
+	// the node appeared in the meantime).
+	n.serialOnly("Schedule for an unknown node")
+	e.at = n.now + delay
+	e.src = systemSrc
+	e.seq = n.sysSeq
+	n.sysSeq++
+	n.shardOf(owner).heap.push(e)
 }
 
 // ScheduleSystem runs fn after delay regardless of node liveness; churn and
-// measurement processes use it.
+// measurement processes use it. System events execute alone at a global
+// barrier, so — unlike node handlers — they may touch any node's state.
+// Handlers must not call it; schedule system work from system events or
+// between runs.
 func (n *Network) ScheduleSystem(delay time.Duration, fn func()) {
-	n.push(&event{at: n.now + delay, fn: fn, sys: true})
-}
-
-// countDrop records a lost message under the stats lock.
-func (n *Network) countDrop() {
-	n.statsMu.Lock()
-	n.stats.MessagesDropped++
-	n.statsMu.Unlock()
-}
-
-func (n *Network) push(e *event) {
-	e.seq = n.seq
-	n.seq++
-	heap.Push(&n.queue, e)
+	n.serialOnly("ScheduleSystem")
+	n.sysHeap.push(event{at: n.now + delay, src: systemSrc, seq: n.sysSeq, kind: evSys, fn: fn})
+	n.sysSeq++
 }
 
 // Kill marks a node down, notifying its LifecycleHandler. In-flight
-// messages to it are dropped at delivery time.
+// messages to it are dropped at delivery time. Serial points and system
+// events only.
 func (n *Network) Kill(id NodeID) {
+	n.serialOnly("Kill")
 	nd, ok := n.nodes[id]
 	if !ok || !nd.alive {
 		return
 	}
 	nd.alive = false
-	n.statsMu.Lock()
-	n.stats.Failures++
-	n.statsMu.Unlock()
-	n.log("DOWN node %d", id)
+	sh := n.shardOf(id)
+	sh.statsMu.Lock()
+	sh.stats.Failures++
+	sh.statsMu.Unlock()
+	n.logAt(n.now, "DOWN node %d", id)
 	if lh, ok := nd.handler.(LifecycleHandler); ok {
 		lh.NodeDown(n)
 	}
 }
 
-// Revive brings a node back up, notifying its LifecycleHandler.
+// Revive brings a node back up, notifying its LifecycleHandler. Serial
+// points and system events only.
 func (n *Network) Revive(id NodeID) {
+	n.serialOnly("Revive")
 	nd, ok := n.nodes[id]
 	if !ok || nd.alive {
 		return
 	}
 	nd.alive = true
-	n.statsMu.Lock()
-	n.stats.Recoveries++
-	n.statsMu.Unlock()
-	n.log("UP   node %d", id)
+	sh := n.shardOf(id)
+	sh.statsMu.Lock()
+	sh.stats.Recoveries++
+	sh.statsMu.Unlock()
+	n.logAt(n.now, "UP   node %d", id)
 	if lh, ok := nd.handler.(LifecycleHandler); ok {
 		lh.NodeUp(n)
 	}
 }
-
-// Step processes the next event. It reports false when the queue is empty.
-func (n *Network) Step() bool {
-	if len(n.queue) == 0 {
-		return false
-	}
-	e := heap.Pop(&n.queue).(*event)
-	if e.at > n.now {
-		n.now = e.at
-	}
-	switch {
-	case e.msg != nil:
-		dst, ok := n.nodes[e.msg.To]
-		if !ok || !dst.alive {
-			n.countDrop()
-			n.log("LOST %s %d->%d (dest down)", e.msg.Kind, e.msg.From, e.msg.To)
-			return true
-		}
-		n.statsMu.Lock()
-		n.stats.MessagesDelivered++
-		n.stats.BytesDelivered += int64(e.msg.Size)
-		n.statsMu.Unlock()
-		dst.handler.HandleMessage(n, *e.msg)
-	case e.sys:
-		e.fn()
-	default:
-		if nd, ok := n.nodes[e.owner]; ok && nd.alive {
-			e.fn()
-		}
-	}
-	return true
-}
-
-// Run processes events until the queue is empty or virtual time exceeds
-// until (zero means run to quiescence). It returns the number of events
-// processed.
-func (n *Network) Run(until time.Duration) int {
-	processed := 0
-	for len(n.queue) > 0 {
-		if until > 0 && n.queue[0].at > until {
-			n.now = until
-			break
-		}
-		n.Step()
-		processed++
-	}
-	return processed
-}
-
-// RunFor advances the simulation by d from the current time.
-func (n *Network) RunFor(d time.Duration) int { return n.Run(n.now + d) }
