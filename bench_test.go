@@ -330,12 +330,15 @@ func runServingClients(b *testing.B, clients int, tag func(q string) error) {
 	wg.Wait()
 }
 
-// BenchmarkServing compares the two ways to put a trained swarm behind
+// BenchmarkServing compares three ways to put a trained swarm behind
 // concurrent clients: "serial" funnels every request one at a time through
-// a mutex-guarded Tagger (the baseline a naive service would ship), while
-// "batched" goes through the doctagger.Server micro-batching pool. The
-// batched variant also reports the mean batch size its dispatcher observed
-// — the quantity that explains the throughput gap.
+// a mutex-guarded Tagger (the baseline a naive service would ship),
+// "batched" goes through the doctagger.Server micro-batching pool, and
+// "cached" adds the request-level result cache in front of the same pool
+// (the query mix cycles a small hot set, so most requests are hits). The
+// batched variants also report the mean batch size the dispatcher
+// observed and the cached variant its hit count — the quantities that
+// explain the throughput gaps.
 func BenchmarkServing(b *testing.B) {
 	for _, clients := range []int{1, 8, 64} {
 		b.Run(fmt.Sprintf("serial/clients=%d", clients), func(b *testing.B) {
@@ -364,6 +367,24 @@ func BenchmarkServing(b *testing.B) {
 			})
 			b.StopTimer()
 			b.ReportMetric(srv.Stats().MeanBatchSize, "batchsize")
+		})
+		b.Run(fmt.Sprintf("cached/clients=%d", clients), func(b *testing.B) {
+			srv, err := doctagger.NewReplicatedServer(2, doctagger.ServerConfig{CacheSize: 64},
+				func(int) (*doctagger.Tagger, error) { return benchTagger(b), nil })
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer srv.Close()
+			ctx := context.Background()
+			b.ResetTimer()
+			runServingClients(b, clients, func(q string) error {
+				_, err := srv.Tag(ctx, q)
+				return err
+			})
+			b.StopTimer()
+			st := srv.Stats()
+			b.ReportMetric(st.MeanBatchSize, "batchsize")
+			b.ReportMetric(float64(st.CacheHits), "hits")
 		})
 	}
 }

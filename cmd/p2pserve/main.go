@@ -2,24 +2,46 @@
 // pool of identical tagger swarms over a synthetic delicious-style corpus
 // and serves AutoTag queries over HTTP/JSON through the micro-batching
 // front-end (doctagger.Server). Concurrent requests coalesce into
-// AutoTagBatch calls; /v1/stats shows how well.
+// AutoTagBatch calls; repeated queries hit the request-level result cache
+// (-cache, 0 disables); /v1/stats shows how well both work.
 //
 // Endpoints:
 //
-//	POST /v1/tag     {"text": "..."} -> {"tags": ["...", ...]}
-//	GET  /v1/stats   serving counters + aggregate swarm traffic
-//	GET  /healthz    liveness probe
+//	POST /v1/tag        {"text": "..."} -> {"tags": ["...", ...]}
+//	POST /v1/tag/batch  {"texts": ["...", ...]} -> {"tags": [["...", ...], ...]}
+//	                    (bulk path; blocks under backpressure even with
+//	                    -fail-fast, bounded by the request context and the
+//	                    1024-document per-request cap; on partial failure
+//	                    unanswerable rows are null — retry exactly those)
+//	POST /v1/refresh    retrain and swap in a new tagger generation, live
+//	GET  /v1/stats      serving counters, cache counters, swarm traffic
+//	GET  /healthz       liveness probe (ok for the process lifetime)
+//	GET  /readyz        readiness probe (503 once draining begins)
 //
-// SIGINT/SIGTERM drain gracefully: the listener stops accepting, in-flight
-// and queued requests are answered, then the process exits.
+// /v1/refresh rebuilds the pool with the same deterministic build the
+// process started with and atomically swaps it into the live dispatcher:
+// in-flight requests drain on the old generation, new requests run on the
+// new one, the result cache flushes, and no request is dropped. In a real
+// deployment the rebuild would fold in accumulated tag refinements; here
+// it demonstrates the live-swap machinery end to end.
+//
+// SIGINT/SIGTERM drain gracefully: /readyz flips to 503 first (so load
+// balancers stop routing), the listener stops accepting, in-flight and
+// queued requests are answered, then the process exits. The pool is closed
+// on every exit path — including an HTTP shutdown timeout — so queued
+// requests are never silently abandoned (a regression in the first version
+// of this command leaked the pool when Shutdown timed out).
 //
 // The built-in load generator benchmarks the same pool in-process without
 // HTTP overhead:
 //
-//	p2pserve -loadgen -clients 1,8,64 -requests 256 -json BENCH_serving.json
+//	p2pserve -loadgen -clients 1,8,64 -requests 256 -repeat 0.9 -cache 1024 -json BENCH_serving.json
 //
-// runs the request mix at each concurrency level and reports throughput
-// and the observed batching, optionally as a JSON artifact.
+// runs the request mix at each concurrency level twice — cache off, then
+// cache on — and reports throughput, the observed batching, cache hits and
+// the cache-on/cache-off speedup, optionally as a JSON artifact. -repeat
+// sets the fraction of requests drawn from a small hot set of queries, so
+// the cache's effect on repeated-query traffic is measured explicitly.
 package main
 
 import (
@@ -35,6 +57,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -55,10 +78,12 @@ type options struct {
 	maxDelay  time.Duration
 	maxQueue  int
 	failFast  bool
+	cache     int
 
 	loadgen  bool
 	clients  string
 	requests int
+	repeat   float64
 	jsonPath string
 }
 
@@ -79,9 +104,11 @@ func main() {
 	flag.DurationVar(&o.maxDelay, "max-delay", 2*time.Millisecond, "flush a batch this long after its first request")
 	flag.IntVar(&o.maxQueue, "max-queue", 0, "submission queue bound (0 = 8*max-batch)")
 	flag.BoolVar(&o.failFast, "fail-fast", false, "reject with 503 when the queue is full instead of blocking")
+	flag.IntVar(&o.cache, "cache", 1024, "request-level result cache entries (0 disables)")
 	flag.BoolVar(&o.loadgen, "loadgen", false, "run the in-process load generator instead of serving HTTP")
 	flag.StringVar(&o.clients, "clients", "1,8,64", "loadgen: comma-separated concurrency levels")
 	flag.IntVar(&o.requests, "requests", 256, "loadgen: requests per concurrency level")
+	flag.Float64Var(&o.repeat, "repeat", 0.9, "loadgen: fraction of requests drawn from a hot query set")
 	flag.StringVar(&o.jsonPath, "json", "", "loadgen: write results to this JSON file")
 	flag.Parse()
 
@@ -91,24 +118,33 @@ func main() {
 }
 
 func run(o options) error {
+	if o.repeat < 0 || o.repeat > 1 {
+		return fmt.Errorf("-repeat %v outside [0,1]", o.repeat)
+	}
+	build, queries, err := makeBuild(o)
+	if err != nil {
+		return err
+	}
+	if o.loadgen {
+		return runLoadgen(o, build, queries)
+	}
+	// HTTP mode never replays the test split; drop it rather than pin the
+	// whole corpus in this frame for the process lifetime.
+	queries = nil
 	log.Printf("training %d shard(s): %s, %d peers each ...", o.shards, o.protocol, o.peers)
 	start := time.Now()
-	pool, queries, err := buildPool(o)
+	pool, err := newPool(o, build)
 	if err != nil {
 		return err
 	}
 	log.Printf("pool ready in %v", time.Since(start).Round(time.Millisecond))
-	if o.loadgen {
-		defer pool.Close()
-		return runLoadgen(pool, queries, o)
-	}
-	return serveHTTP(pool, o)
+	return serveHTTP(&app{pool: pool, build: build}, o)
 }
 
-// buildPool trains o.shards identical tagger swarms over one synthetic
-// corpus and returns them as a serving pool, along with the corpus's test
-// documents for load generation.
-func buildPool(o options) (*doctagger.Server, []string, error) {
+// makeBuild generates the synthetic corpus and returns the deterministic
+// per-shard tagger builder over its training split, plus the test split's
+// texts for load generation.
+func makeBuild(o options) (func(int) (*doctagger.Tagger, error), []string, error) {
 	docs, _, err := doctagger.GenerateCorpus(doctagger.CorpusConfig{
 		Users:          o.peers,
 		DocsPerUserMin: o.docsMin,
@@ -143,29 +179,63 @@ func buildPool(o options) (*doctagger.Server, []string, error) {
 		}
 		return tg, tg.Train()
 	}
-	pool, err := doctagger.NewReplicatedServer(o.shards, doctagger.ServerConfig{
-		MaxBatch: o.maxBatch,
-		MaxDelay: o.maxDelay,
-		MaxQueue: o.maxQueue,
-		FailFast: o.failFast,
-	}, build)
-	if err != nil {
-		return nil, nil, err
-	}
 	queries := make([]string, 0, len(test))
 	for _, d := range test {
 		queries = append(queries, d.Text)
 	}
-	return pool, queries, nil
+	return build, queries, nil
 }
 
-// newMux wires the HTTP API around a pool.
-func newMux(pool *doctagger.Server) *http.ServeMux {
+// serverConfig maps the flags onto a pool configuration. cacheSize is
+// explicit because loadgen measures the same flag set with the cache off
+// and on; every other knob must stay identical between those runs (and
+// between loadgen and HTTP mode), which is why both paths come here.
+func serverConfig(o options, cacheSize int) doctagger.ServerConfig {
+	return doctagger.ServerConfig{
+		MaxBatch:  o.maxBatch,
+		MaxDelay:  o.maxDelay,
+		MaxQueue:  o.maxQueue,
+		FailFast:  o.failFast,
+		CacheSize: cacheSize,
+	}
+}
+
+// newPool trains o.shards identical tagger swarms and fronts them with the
+// micro-batching dispatcher, caching o.cache answers (0 = off).
+func newPool(o options, build func(int) (*doctagger.Tagger, error)) (*doctagger.Server, error) {
+	return doctagger.NewReplicatedServer(o.shards, serverConfig(o, o.cache), build)
+}
+
+// maxBatchRequestDocs caps one /v1/tag/batch request; larger uploads
+// should be split by the client. The byte limits bound request bodies
+// before decoding, so a huge upload is refused without being buffered.
+const (
+	maxBatchRequestDocs  = 1024
+	maxTagRequestBytes   = 1 << 20  // 1 MiB: one document
+	maxBatchRequestBytes = 16 << 20 // 16 MiB: up to 1024 documents
+)
+
+// app is the HTTP-facing state: the live pool, the deterministic builder
+// /v1/refresh retrains with, and the readiness flag the drain sequence
+// flips before the listener stops accepting.
+type app struct {
+	pool     *doctagger.Server
+	build    func(int) (*doctagger.Tagger, error)
+	draining atomic.Bool
+	// refreshing rejects refresh requests that arrive while one is
+	// already retraining — a retrain burns seconds of CPU, so queueing
+	// a burst of them would starve query serving for no benefit.
+	refreshing atomic.Bool
+}
+
+// mux wires the HTTP API around the app.
+func (a *app) mux() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/tag", func(w http.ResponseWriter, r *http.Request) {
 		var req struct {
 			Text string `json:"text"`
 		}
+		r.Body = http.MaxBytesReader(w, r.Body, maxTagRequestBytes)
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 			httpError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
 			return
@@ -174,19 +244,9 @@ func newMux(pool *doctagger.Server) *http.ServeMux {
 			httpError(w, http.StatusBadRequest, errors.New("empty text"))
 			return
 		}
-		tags, err := pool.Tag(r.Context(), req.Text)
+		tags, err := a.pool.Tag(r.Context(), req.Text)
 		if err != nil {
-			switch {
-			case errors.Is(err, doctagger.ErrOverloaded), errors.Is(err, doctagger.ErrServerClosed):
-				httpError(w, http.StatusServiceUnavailable, err)
-			case errors.Is(err, doctagger.ErrNoAnswer):
-				httpError(w, http.StatusBadGateway, err)
-			case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
-				// The client went away; nothing useful to write.
-				httpError(w, http.StatusServiceUnavailable, err)
-			default:
-				httpError(w, http.StatusInternalServerError, err)
-			}
+			writeTagError(w, err)
 			return
 		}
 		if tags == nil {
@@ -194,14 +254,113 @@ func newMux(pool *doctagger.Server) *http.ServeMux {
 		}
 		writeJSON(w, http.StatusOK, map[string]any{"tags": tags})
 	})
+	mux.HandleFunc("POST /v1/tag/batch", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Texts []string `json:"texts"`
+		}
+		// The byte limit, not the document-count check below, is what
+		// actually bounds per-request memory: the decoder would otherwise
+		// materialize an arbitrarily large texts array before the count
+		// is ever examined.
+		r.Body = http.MaxBytesReader(w, r.Body, maxBatchRequestBytes)
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+			return
+		}
+		if len(req.Texts) == 0 {
+			httpError(w, http.StatusBadRequest, errors.New("empty texts"))
+			return
+		}
+		if len(req.Texts) > maxBatchRequestDocs {
+			httpError(w, http.StatusBadRequest,
+				fmt.Errorf("%d texts exceed the per-request limit of %d", len(req.Texts), maxBatchRequestDocs))
+			return
+		}
+		for i, text := range req.Texts {
+			if strings.TrimSpace(text) == "" {
+				httpError(w, http.StatusBadRequest, fmt.Errorf("empty text at index %d", i))
+				return
+			}
+		}
+		tags, err := a.pool.TagBatch(r.Context(), req.Texts)
+		if err != nil && !errors.Is(err, doctagger.ErrNoAnswer) {
+			writeTagError(w, err)
+			return
+		}
+		// A wrapped ErrNoAnswer is a partial failure: answered rows carry
+		// their tags, unanswerable rows stay null — clients retry exactly
+		// the null rows. (An answered row with no tags would be [], not
+		// null, preserving the library's nil-vs-empty distinction.)
+		resp := map[string]any{"tags": tags}
+		if err != nil {
+			resp["error"] = err.Error()
+		}
+		writeJSON(w, http.StatusOK, resp)
+	})
+	mux.HandleFunc("POST /v1/refresh", func(w http.ResponseWriter, r *http.Request) {
+		if a.draining.Load() {
+			httpError(w, http.StatusServiceUnavailable, errors.New("draining"))
+			return
+		}
+		// One retrain at a time, and no queue of them: a burst of refresh
+		// requests would otherwise serialize into back-to-back full
+		// retrains (Refresh itself only serializes, it cannot coalesce).
+		if !a.refreshing.CompareAndSwap(false, true) {
+			httpError(w, http.StatusTooManyRequests, errors.New("a refresh is already in progress"))
+			return
+		}
+		defer a.refreshing.Store(false)
+		start := time.Now()
+		gen, err := a.pool.Refresh(a.build)
+		if err != nil {
+			if errors.Is(err, doctagger.ErrServerClosed) {
+				httpError(w, http.StatusServiceUnavailable, err)
+				return
+			}
+			httpError(w, http.StatusInternalServerError, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			// The generation this request installed, from Refresh itself:
+			// a Stats snapshot here could already reflect a queued later
+			// refresh.
+			"generation": gen,
+			"shards":     a.pool.Stats().Shards,
+			"seconds":    time.Since(start).Seconds(),
+		})
+	})
 	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, pool.Stats())
+		writeJSON(w, http.StatusOK, a.pool.Stats())
 	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
 	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if a.draining.Load() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, "draining")
+			return
+		}
+		fmt.Fprintln(w, "ok")
+	})
 	return mux
+}
+
+// writeTagError maps tagging errors onto HTTP statuses.
+func writeTagError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, doctagger.ErrOverloaded), errors.Is(err, doctagger.ErrServerClosed):
+		httpError(w, http.StatusServiceUnavailable, err)
+	case errors.Is(err, doctagger.ErrNoAnswer):
+		httpError(w, http.StatusBadGateway, err)
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		// The client went away; nothing useful to write.
+		httpError(w, http.StatusServiceUnavailable, err)
+	default:
+		httpError(w, http.StatusInternalServerError, err)
+	}
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -216,13 +375,16 @@ func httpError(w http.ResponseWriter, code int, err error) {
 	writeJSON(w, code, map[string]string{"error": err.Error()})
 }
 
-// serveHTTP runs the API until SIGINT/SIGTERM, then drains: the listener
-// shuts down first, the pool second, so every accepted request is
-// answered.
-func serveHTTP(pool *doctagger.Server, o options) error {
+// serveHTTP runs the API until SIGINT/SIGTERM, then drains: /readyz goes
+// unready first, the listener shuts down second, the pool third, so load
+// balancers stop routing and every accepted request is answered. The pool
+// is closed on every exit path — in particular, an http.Server.Shutdown
+// timeout must not leak the pool with requests still queued (regression:
+// the original drain returned early on that path and abandoned them).
+func serveHTTP(a *app, o options) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	srv := &http.Server{Addr: o.addr, Handler: newMux(pool)}
+	srv := &http.Server{Addr: o.addr, Handler: a.mux()}
 	errc := make(chan error, 1)
 	go func() {
 		log.Printf("listening on %s", o.addr)
@@ -234,26 +396,32 @@ func serveHTTP(pool *doctagger.Server, o options) error {
 	}()
 	select {
 	case err := <-errc:
-		pool.Close()
+		a.draining.Store(true)
+		a.pool.Close()
 		return err
 	case <-ctx.Done():
 	}
+	a.draining.Store(true)
 	log.Print("shutting down: draining in-flight requests ...")
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
-	if err := srv.Shutdown(shutdownCtx); err != nil {
-		return fmt.Errorf("http shutdown: %w", err)
+	shutdownErr := srv.Shutdown(shutdownCtx)
+	// Close the pool whether or not the HTTP shutdown timed out: accepted
+	// requests are still drained and answered either way.
+	a.pool.Close()
+	if shutdownErr != nil {
+		return fmt.Errorf("http shutdown: %w", shutdownErr)
 	}
-	pool.Close()
-	st := pool.Stats()
-	log.Printf("drained: served %d requests in %d batches (mean batch %.2f)",
-		st.Served, st.Batches, st.MeanBatchSize)
+	st := a.pool.Stats()
+	log.Printf("drained: served %d requests in %d batches (mean batch %.2f, %d cache hits)",
+		st.Served, st.Batches, st.MeanBatchSize, st.CacheHits)
 	return <-errc
 }
 
-// loadgenRun is one concurrency level's result.
+// loadgenRun is one (concurrency level, cache mode) result.
 type loadgenRun struct {
 	Clients       int     `json:"clients"`
+	CacheSize     int     `json:"cache_size"`
 	Requests      int64   `json:"requests"`
 	Errors        int64   `json:"errors"`
 	Seconds       float64 `json:"seconds"`
@@ -261,13 +429,52 @@ type loadgenRun struct {
 	Batches       int64   `json:"batches"`
 	MeanBatchSize float64 `json:"mean_batch_size"`
 	MeanWaitUS    float64 `json:"mean_queue_wait_us"`
+	CacheHits     int64   `json:"cache_hits"`
 }
 
-// runLoadgen fires o.requests tagging requests at the pool from each
-// configured number of concurrent clients, reporting throughput and the
-// batching observed by the dispatcher's own counters (as deltas, since the
-// pool's counters are cumulative).
-func runLoadgen(pool *doctagger.Server, queries []string, o options) error {
+// speedup is the cache-on/cache-off throughput ratio at one concurrency
+// level — the headline number of BENCH_serving.json.
+type speedup struct {
+	Clients int     `json:"clients"`
+	Speedup float64 `json:"cache_speedup"`
+}
+
+// queryMix deterministically picks each client's request sequence: with
+// probability repeat a query from the small hot set (repeated traffic the
+// cache can absorb), otherwise a rotating pick from the full query list.
+// The same (client, request) always maps to the same text, so cache-on and
+// cache-off runs serve an identical workload.
+type queryMix struct {
+	queries []string
+	hot     []string
+	permill int
+	clients int
+}
+
+func newQueryMix(queries []string, repeat float64, clients int) queryMix {
+	hot := queries[:min(8, len(queries))]
+	return queryMix{queries: queries, hot: hot, permill: int(repeat * 1000), clients: clients}
+}
+
+func (m queryMix) pick(c, r int) string {
+	// Per-(client, request) LCG draw: cheap, seedless, deterministic.
+	x := uint32(c)*2654435761 + uint32(r)*40503 + 12345
+	x = x*1664525 + 1013904223
+	if int(x>>16)%1000 < m.permill {
+		// Index with unsigned arithmetic: int(x) would go negative on
+		// 32-bit platforms for half of all draws.
+		return m.hot[x%uint32(len(m.hot))]
+	}
+	return m.queries[(c+r*m.clients)%len(m.queries)]
+}
+
+// runLoadgen fires o.requests tagging requests at a pool from each
+// configured number of concurrent clients — once with the result cache off
+// and, when -cache > 0, once more with it on — reporting throughput,
+// batching and cache hits (as deltas, since the pool's counters are
+// cumulative). The shard taggers are trained once and reused across both
+// pools; a drained pool's taggers are safe to re-front.
+func runLoadgen(o options, build func(int) (*doctagger.Tagger, error), queries []string) error {
 	if len(queries) == 0 {
 		return errors.New("loadgen: no test queries")
 	}
@@ -279,48 +486,46 @@ func runLoadgen(pool *doctagger.Server, queries []string, o options) error {
 		}
 		levels = append(levels, n)
 	}
+	log.Printf("training %d shard(s): %s, %d peers each ...", o.shards, o.protocol, o.peers)
+	taggers := make([]*doctagger.Tagger, o.shards)
+	for i := range taggers {
+		tg, err := build(i)
+		if err != nil {
+			return fmt.Errorf("loadgen: building shard %d: %w", i, err)
+		}
+		taggers[i] = tg
+	}
+	cacheSizes := []int{0}
+	if o.cache > 0 {
+		cacheSizes = append(cacheSizes, o.cache)
+	}
 	var runs []loadgenRun
-	for _, clients := range levels {
-		before := pool.Stats()
-		start := time.Now()
-		var wg sync.WaitGroup
-		for c := 0; c < clients; c++ {
-			share := o.requests / clients
-			if c < o.requests%clients {
-				share++
+	rps := make(map[[2]int]float64) // (clients, cacheSize) -> rps
+	for _, cacheSize := range cacheSizes {
+		pool, err := doctagger.NewServer(serverConfig(o, cacheSize), taggers...)
+		if err != nil {
+			return err
+		}
+		for _, clients := range levels {
+			run := runLevel(pool, newQueryMix(queries, o.repeat, clients), clients, o.requests)
+			run.CacheSize = cacheSize
+			runs = append(runs, run)
+			rps[[2]int{clients, cacheSize}] = run.RequestsPerS
+			log.Printf("cache=%-5d clients=%-3d  %8.0f req/s  mean batch %5.2f  mean wait %6.0fµs  hits %d  errors %d",
+				cacheSize, clients, run.RequestsPerS, run.MeanBatchSize, run.MeanWaitUS, run.CacheHits, run.Errors)
+		}
+		pool.Close()
+	}
+	var speedups []speedup
+	if o.cache > 0 {
+		for _, clients := range levels {
+			off, on := rps[[2]int{clients, 0}], rps[[2]int{clients, o.cache}]
+			if off > 0 {
+				s := speedup{Clients: clients, Speedup: on / off}
+				speedups = append(speedups, s)
+				log.Printf("clients=%-3d  cache speedup %.1fx", clients, s.Speedup)
 			}
-			wg.Add(1)
-			go func(c, share int) {
-				defer wg.Done()
-				for r := 0; r < share; r++ {
-					// Ignore per-request errors here; the stats deltas
-					// report them.
-					_, _ = pool.Tag(context.Background(), queries[(c+r*clients)%len(queries)])
-				}
-			}(c, share)
 		}
-		wg.Wait()
-		elapsed := time.Since(start)
-		after := pool.Stats()
-		run := loadgenRun{
-			Clients:  clients,
-			Requests: after.Served - before.Served,
-			Errors:   after.Errors - before.Errors,
-			Seconds:  elapsed.Seconds(),
-			Batches:  after.Batches - before.Batches,
-		}
-		if run.Seconds > 0 {
-			run.RequestsPerS = float64(run.Requests) / run.Seconds
-		}
-		if run.Batches > 0 {
-			run.MeanBatchSize = float64(after.BatchedDocs-before.BatchedDocs) / float64(run.Batches)
-		}
-		if run.Requests > 0 {
-			run.MeanWaitUS = float64((after.QueueWaitTotal - before.QueueWaitTotal).Microseconds()) / float64(run.Requests)
-		}
-		runs = append(runs, run)
-		log.Printf("clients=%-3d  %6.0f req/s  mean batch %5.2f  mean wait %6.0fµs  errors %d",
-			clients, run.RequestsPerS, run.MeanBatchSize, run.MeanWaitUS, run.Errors)
 	}
 	if o.jsonPath != "" {
 		payload := map[string]any{
@@ -329,10 +534,10 @@ func runLoadgen(pool *doctagger.Server, queries []string, o options) error {
 			"peers":     o.peers,
 			"shards":    o.shards,
 			"max_batch": o.maxBatch,
-			// Largest batch dispatched across all levels (the pool's
-			// counter is cumulative, so it cannot be reported per level).
-			"max_batch_seen": pool.Stats().MaxBatchSeen,
-			"runs":           runs,
+			"cache":     o.cache,
+			"repeat":    o.repeat,
+			"runs":      runs,
+			"speedups":  speedups,
 		}
 		data, err := json.MarshalIndent(payload, "", "  ")
 		if err != nil {
@@ -344,4 +549,48 @@ func runLoadgen(pool *doctagger.Server, queries []string, o options) error {
 		log.Printf("wrote %s", o.jsonPath)
 	}
 	return nil
+}
+
+// runLevel drives one concurrency level against the pool and reports the
+// deltas of its cumulative counters.
+func runLevel(pool *doctagger.Server, mix queryMix, clients, requests int) loadgenRun {
+	before := pool.Stats()
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		share := requests / clients
+		if c < requests%clients {
+			share++
+		}
+		wg.Add(1)
+		go func(c, share int) {
+			defer wg.Done()
+			for r := 0; r < share; r++ {
+				// Ignore per-request errors here; the stats deltas
+				// report them.
+				_, _ = pool.Tag(context.Background(), mix.pick(c, r))
+			}
+		}(c, share)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	after := pool.Stats()
+	run := loadgenRun{
+		Clients:   clients,
+		Requests:  (after.Served - before.Served) + (after.CacheHits - before.CacheHits),
+		Errors:    after.Errors - before.Errors,
+		Seconds:   elapsed.Seconds(),
+		Batches:   after.Batches - before.Batches,
+		CacheHits: after.CacheHits - before.CacheHits,
+	}
+	if run.Seconds > 0 {
+		run.RequestsPerS = float64(run.Requests) / run.Seconds
+	}
+	if run.Batches > 0 {
+		run.MeanBatchSize = float64(after.BatchedDocs-before.BatchedDocs) / float64(run.Batches)
+	}
+	if served := after.Served - before.Served; served > 0 {
+		run.MeanWaitUS = float64((after.QueueWaitTotal - before.QueueWaitTotal).Microseconds()) / float64(served)
+	}
+	return run
 }

@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -23,30 +24,47 @@ func testOptions() options {
 		numTags:  4,
 		maxBatch: 8,
 		maxDelay: time.Millisecond,
+		cache:    64,
+		repeat:   0.9,
 	}
 }
 
-func newTestServer(t *testing.T) (*httptest.Server, *doctagger.Server, []string) {
+func newTestApp(t *testing.T) (*httptest.Server, *app, []string) {
 	t.Helper()
-	pool, queries, err := buildPool(testOptions())
+	o := testOptions()
+	build, queries, err := makeBuild(o)
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(newMux(pool))
+	pool, err := newPool(o, build)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := &app{pool: pool, build: build}
+	ts := httptest.NewServer(a.mux())
 	t.Cleanup(func() {
 		ts.Close()
 		pool.Close()
 	})
-	return ts, pool, queries
+	return ts, a, queries
 }
 
-func TestTagEndpoint(t *testing.T) {
-	ts, pool, queries := newTestServer(t)
-	body, _ := json.Marshal(map[string]string{"text": queries[0]})
-	resp, err := http.Post(ts.URL+"/v1/tag", "application/json", strings.NewReader(string(body)))
+func postJSON(t *testing.T, url string, body any) *http.Response {
+	t.Helper()
+	raw, err := json.Marshal(body)
 	if err != nil {
 		t.Fatal(err)
 	}
+	resp, err := http.Post(url, "application/json", strings.NewReader(string(raw)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func TestTagEndpoint(t *testing.T) {
+	ts, a, queries := newTestApp(t)
+	resp := postJSON(t, ts.URL+"/v1/tag", map[string]string{"text": queries[0]})
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("status = %d", resp.StatusCode)
@@ -60,13 +78,13 @@ func TestTagEndpoint(t *testing.T) {
 	if len(got.Tags) == 0 {
 		t.Error("no tags returned")
 	}
-	if st := pool.Stats(); st.Served != 1 {
+	if st := a.pool.Stats(); st.Served != 1 {
 		t.Errorf("served = %d, want 1", st.Served)
 	}
 }
 
 func TestTagEndpointRejectsBadInput(t *testing.T) {
-	ts, _, _ := newTestServer(t)
+	ts, _, _ := newTestApp(t)
 	for _, body := range []string{"not json", `{"text": ""}`, `{"text": "   "}`} {
 		resp, err := http.Post(ts.URL+"/v1/tag", "application/json", strings.NewReader(body))
 		if err != nil {
@@ -88,22 +106,142 @@ func TestTagEndpointRejectsBadInput(t *testing.T) {
 	}
 }
 
-func TestHealthAndStatsEndpoints(t *testing.T) {
-	ts, _, queries := newTestServer(t)
-	resp, err := http.Get(ts.URL + "/healthz")
+// TestTagBatchEndpoint pins the batch API against the single-document one:
+// same texts, same tags, one round trip.
+func TestTagBatchEndpoint(t *testing.T) {
+	ts, _, queries := newTestApp(t)
+	texts := []string{queries[0], queries[1%len(queries)], queries[0]}
+	want := make([][]string, len(texts))
+	for i, text := range texts {
+		resp := postJSON(t, ts.URL+"/v1/tag", map[string]string{"text": text})
+		var got struct {
+			Tags []string `json:"tags"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		want[i] = got.Tags
+	}
+	resp := postJSON(t, ts.URL+"/v1/tag/batch", map[string]any{"texts": texts})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var got struct {
+		Tags  [][]string `json:"tags"`
+		Error string     `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Error != "" {
+		t.Fatalf("batch error: %s", got.Error)
+	}
+	if fmt.Sprint(got.Tags) != fmt.Sprint(want) {
+		t.Errorf("batch tags %v != per-document tags %v", got.Tags, want)
+	}
+}
+
+func TestTagBatchEndpointRejectsBadInput(t *testing.T) {
+	ts, _, queries := newTestApp(t)
+	huge := make([]string, maxBatchRequestDocs+1)
+	for i := range huge {
+		huge[i] = queries[0]
+	}
+	cases := []any{
+		map[string]any{"texts": []string{}},
+		map[string]any{"texts": []string{queries[0], "  "}},
+		map[string]any{"texts": huge},
+	}
+	for _, body := range cases {
+		resp := postJSON(t, ts.URL+"/v1/tag/batch", body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("status = %d, want 400", resp.StatusCode)
+		}
+	}
+}
+
+// TestRefreshEndpoint swaps a freshly retrained generation into the live
+// pool and checks the pool still answers afterwards.
+func TestRefreshEndpoint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("refresh retrains the pool")
+	}
+	ts, a, queries := newTestApp(t)
+	resp := postJSON(t, ts.URL+"/v1/refresh", map[string]any{})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var got struct {
+		Generation int64   `json:"generation"`
+		Shards     int     `json:"shards"`
+		Seconds    float64 `json:"seconds"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Generation != 2 || got.Shards != 2 {
+		t.Errorf("refresh reported generation %d, shards %d", got.Generation, got.Shards)
+	}
+	tagResp := postJSON(t, ts.URL+"/v1/tag", map[string]string{"text": queries[0]})
+	tagResp.Body.Close()
+	if tagResp.StatusCode != http.StatusOK {
+		t.Errorf("tag after refresh: status = %d", tagResp.StatusCode)
+	}
+	if st := a.pool.Stats(); st.Generation != 2 {
+		t.Errorf("pool generation = %d, want 2", st.Generation)
+	}
+	// A draining server refuses to retrain.
+	a.draining.Store(true)
+	resp2 := postJSON(t, ts.URL+"/v1/refresh", map[string]any{})
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("refresh while draining: status = %d, want 503", resp2.StatusCode)
+	}
+}
+
+// TestReadinessFlipsOnDrain pins the load-balancer contract: /healthz
+// stays ok for the process lifetime (liveness), /readyz turns 503 the
+// moment draining begins, before the pool stops answering.
+func TestReadinessFlipsOnDrain(t *testing.T) {
+	ts, a, _ := newTestApp(t)
+	for _, path := range []string{"/healthz", "/readyz"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("%s before drain: status = %d", path, resp.StatusCode)
+		}
+	}
+	a.draining.Store(true)
+	resp, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("/readyz while draining: status = %d, want 503", resp.StatusCode)
+	}
+	resp, err = http.Get(ts.URL + "/healthz")
 	if err != nil {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		t.Errorf("healthz status = %d", resp.StatusCode)
+		t.Errorf("/healthz while draining: status = %d, want 200 (liveness)", resp.StatusCode)
 	}
-	body, _ := json.Marshal(map[string]string{"text": queries[0]})
-	if resp, err = http.Post(ts.URL+"/v1/tag", "application/json", strings.NewReader(string(body))); err != nil {
-		t.Fatal(err)
-	}
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	ts, _, queries := newTestApp(t)
+	resp := postJSON(t, ts.URL+"/v1/tag", map[string]string{"text": queries[0]})
 	resp.Body.Close()
-	resp, err = http.Get(ts.URL + "/v1/stats")
+	resp, err := http.Get(ts.URL + "/v1/stats")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,39 +253,44 @@ func TestHealthAndStatsEndpoints(t *testing.T) {
 	if st.Shards != 2 || st.Served < 1 || st.Network.Messages == 0 {
 		t.Errorf("stats = %+v", st)
 	}
+	if st.Generation != 1 {
+		t.Errorf("generation = %d, want 1", st.Generation)
+	}
 }
 
 // TestTagAfterCloseReturns503 pins the drain contract at the HTTP layer:
 // once the pool is closed, new requests get Service Unavailable rather
 // than a hang or a 500.
 func TestTagAfterCloseReturns503(t *testing.T) {
-	ts, pool, queries := newTestServer(t)
-	pool.Close()
-	body, _ := json.Marshal(map[string]string{"text": queries[0]})
-	resp, err := http.Post(ts.URL+"/v1/tag", "application/json", strings.NewReader(string(body)))
-	if err != nil {
-		t.Fatal(err)
-	}
+	ts, a, queries := newTestApp(t)
+	a.pool.Close()
+	resp := postJSON(t, ts.URL+"/v1/tag", map[string]string{"text": queries[0]})
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusServiceUnavailable {
 		t.Errorf("status = %d, want 503", resp.StatusCode)
 	}
+	batchResp := postJSON(t, ts.URL+"/v1/tag/batch", map[string]any{"texts": queries[:1]})
+	batchResp.Body.Close()
+	if batchResp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("batch status = %d, want 503", batchResp.StatusCode)
+	}
 }
 
 // TestLoadgenWritesJSON runs the in-process load generator at two small
-// concurrency levels and checks the artifact it writes.
+// concurrency levels — cache off and cache on — and checks the artifact,
+// including that caching sped up the repeated-query workload.
 func TestLoadgenWritesJSON(t *testing.T) {
 	o := testOptions()
 	o.loadgen = true
 	o.clients = "1,8"
-	o.requests = 32
+	o.requests = 64
+	o.cache = 256
 	o.jsonPath = t.TempDir() + "/bench.json"
-	pool, queries, err := buildPool(o)
+	build, queries, err := makeBuild(o)
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer pool.Close()
-	if err := runLoadgen(pool, queries, o); err != nil {
+	if err := runLoadgen(o, build, queries); err != nil {
 		t.Fatal(err)
 	}
 	raw, err := os.ReadFile(o.jsonPath)
@@ -157,20 +300,41 @@ func TestLoadgenWritesJSON(t *testing.T) {
 	var payload struct {
 		Benchmark string       `json:"benchmark"`
 		Runs      []loadgenRun `json:"runs"`
+		Speedups  []speedup    `json:"speedups"`
 	}
 	if err := json.Unmarshal(raw, &payload); err != nil {
 		t.Fatal(err)
 	}
-	if payload.Benchmark != "p2pserve-loadgen" || len(payload.Runs) != 2 {
+	if payload.Benchmark != "p2pserve-loadgen" || len(payload.Runs) != 4 {
 		t.Fatalf("payload = %+v", payload)
 	}
 	for _, r := range payload.Runs {
-		if r.Requests != 32 || r.RequestsPerS <= 0 {
+		if r.Requests != 64 || r.RequestsPerS <= 0 || r.Errors != 0 {
 			t.Errorf("run = %+v", r)
 		}
+		if r.CacheSize == 0 && r.CacheHits != 0 {
+			t.Errorf("cache-off run reported hits: %+v", r)
+		}
 	}
-	// The 8-client run must show real coalescing.
+	// The cache-on runs must actually hit.
+	var hits int64
+	for _, r := range payload.Runs {
+		hits += r.CacheHits
+	}
+	if hits == 0 {
+		t.Error("cache-on runs recorded no hits")
+	}
+	// The 8-client cache-off run must show real coalescing.
 	if payload.Runs[1].MeanBatchSize <= 1 {
-		t.Errorf("8 clients: mean batch %.2f, want > 1", payload.Runs[1].MeanBatchSize)
+		t.Errorf("8 clients uncached: mean batch %.2f, want > 1", payload.Runs[1].MeanBatchSize)
+	}
+	if len(payload.Speedups) != 2 {
+		t.Fatalf("speedups = %+v", payload.Speedups)
+	}
+	// At 8 clients with a 90% hot-set workload the cached pool should be
+	// several times faster; assert a conservative floor to keep the test
+	// robust on slow single-core CI machines.
+	if s := payload.Speedups[1]; s.Speedup < 2 {
+		t.Errorf("8-client cache speedup = %.2fx, want >= 2x", s.Speedup)
 	}
 }

@@ -89,13 +89,34 @@
 // A Tagger is not safe for concurrent use; a Server is. Server (backed by
 // internal/serving) turns a pool of identically trained Taggers into a
 // concurrent serving front-end: goroutines submit single documents with
-// Tag, a micro-batching dispatcher coalesces them — flushing at MaxBatch
-// requests or MaxDelay after the first, whichever comes first — and fans
-// the batches over the shard pool with one goroutine per shard, bounded
-// queueing for backpressure, per-request error propagation and a graceful
-// drain on Close. Batched answers are exactly what serial AutoTag calls
-// would return for the same inputs; the Stats snapshot (batch counts,
-// batch-size histogram, queue waits, aggregate swarm traffic) shows what
-// the batching bought. See ExampleServer, and cmd/p2pserve for the
-// HTTP/JSON face of the same layer.
+// Tag (or many at once with TagBatch, which enters the dispatcher as
+// pre-formed batches and pays no coalescing delay), a micro-batching
+// dispatcher coalesces them — flushing at MaxBatch requests or MaxDelay
+// after the first, whichever comes first — and fans the batches over the
+// shard pool with one goroutine per shard, bounded queueing for
+// backpressure, per-request error propagation and a graceful drain on
+// Close. Batched answers are exactly what serial AutoTag calls would
+// return for the same inputs; the Stats snapshot (batch counts, batch-size
+// histogram, queue waits, cache counters, aggregate swarm traffic) shows
+// what the batching bought. See ExampleServer, and cmd/p2pserve for the
+// HTTP/JSON face of the same layer (POST /v1/tag, /v1/tag/batch,
+// /v1/refresh, GET /v1/stats, /healthz, /readyz).
+//
+// Two serving capabilities ride on the determinism contract:
+//
+//   - Request-level caching (ServerConfig.CacheSize): a sharded, bounded
+//     LRU keyed on document text answers repeated queries without
+//     re-entering a swarm. Sound because queries never feed back into the
+//     models — identical text means identical tags for as long as one
+//     model generation serves. Cached answers are test-pinned
+//     byte-identical to uncached serial AutoTag.
+//   - Live model refresh (Server.Swap / Server.Refresh): a new identically
+//     trained tagger generation is installed under traffic — new shards
+//     start, the dispatcher switches between batches, old shards drain
+//     in-flight work and exit, the cache flushes so no answer outlives its
+//     models, and no accepted request is dropped. This is how
+//     (*Tagger).Refine reaches live serving: refine a retired (or freshly
+//     built) generation offline, then swap it in — the paper's "upon the
+//     refinement of tags, P2PDocTagger will automatically update the
+//     classification model(s)", made concurrent.
 package doctagger

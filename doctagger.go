@@ -313,7 +313,11 @@ func (t *Tagger) AutoTag(text string) ([]string, error) {
 //
 // Documents the swarm cannot answer get a nil tag list rather than
 // aborting the batch; the first such failure is reported as an
-// ErrNoAnswer-wrapping error alongside the remaining results.
+// ErrNoAnswer-wrapping error alongside the remaining results. Answered
+// documents always get a non-nil list (empty if no tag clears the
+// threshold), so a nil row unambiguously means "unanswered" even when the
+// batch carries an error for a different row — the serving layer relies
+// on this to fail exactly the right requests.
 func (t *Tagger) AutoTagBatch(texts []string) ([][]string, error) {
 	if !t.trained {
 		return nil, ErrNotTrained
@@ -339,7 +343,11 @@ func (t *Tagger) AutoTagBatch(texts []string) ([][]string, error) {
 			}
 			continue
 		}
-		out[i] = protocol.SelectTags(a.scores, t.cfg.Threshold, t.cfg.MaxTags)
+		tags := protocol.SelectTags(a.scores, t.cfg.Threshold, t.cfg.MaxTags)
+		if tags == nil {
+			tags = []string{}
+		}
+		out[i] = tags
 	}
 	return out, firstErr
 }
@@ -362,8 +370,17 @@ func (t *Tagger) Refine(text string, tags ...string) error {
 }
 
 // SetThreshold moves the confidence slider. Unlike Config.Threshold, the
-// value is literal: 0 means "accept every tag", no sentinel needed.
-func (t *Tagger) SetThreshold(th float64) { t.cfg.Threshold = th }
+// value is literal: 0 means "accept every tag", no sentinel needed. Values
+// outside [0, 1] are rejected — confidences are probabilities, so an
+// out-of-range threshold would silently pin tagging to "everything" or
+// "nothing" — and leave the current threshold unchanged.
+func (t *Tagger) SetThreshold(th float64) error {
+	if th < 0 || th > 1 {
+		return fmt.Errorf("doctagger: threshold %v outside [0,1]", th)
+	}
+	t.cfg.Threshold = th
+	return nil
+}
 
 // Threshold reports the current confidence threshold.
 func (t *Tagger) Threshold() float64 { return t.cfg.Threshold }

@@ -281,12 +281,16 @@ func TestThresholdSliderChangesTagCount(t *testing.T) {
 		t.Fatal(err)
 	}
 	text := "song melody on the beach with a recipe for the hotel grill"
-	tg.SetThreshold(0.05)
+	if err := tg.SetThreshold(0.05); err != nil {
+		t.Fatal(err)
+	}
 	loose, err := tg.AutoTag(text)
 	if err != nil {
 		t.Fatal(err)
 	}
-	tg.SetThreshold(0.95)
+	if err := tg.SetThreshold(0.95); err != nil {
+		t.Fatal(err)
+	}
 	strict, err := tg.AutoTag(text)
 	if err != nil {
 		t.Fatal(err)
@@ -296,6 +300,33 @@ func TestThresholdSliderChangesTagCount(t *testing.T) {
 	}
 	if tg.Threshold() != 0.95 {
 		t.Error("threshold not stored")
+	}
+}
+
+// TestSetThresholdRejectsOutOfRange pins the slider's validation: values
+// outside [0,1] — which Config.Threshold already rejects at construction —
+// must not sneak in through the setter and silently pin tagging to
+// "everything" or "nothing".
+func TestSetThresholdRejectsOutOfRange(t *testing.T) {
+	tg, err := New(Config{Peers: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, th := range []float64{7, -3, 1.0001, -0.0001} {
+		if err := tg.SetThreshold(th); err == nil {
+			t.Errorf("SetThreshold(%v) accepted an out-of-range value", th)
+		}
+	}
+	if got := tg.Threshold(); got != 0.5 {
+		t.Errorf("rejected SetThreshold changed the threshold to %v", got)
+	}
+	for _, th := range []float64{0, 1, 0.5} {
+		if err := tg.SetThreshold(th); err != nil {
+			t.Errorf("SetThreshold(%v): %v", th, err)
+		}
+		if got := tg.Threshold(); got != th {
+			t.Errorf("Threshold() = %v after SetThreshold(%v)", got, th)
+		}
 	}
 }
 

@@ -1,14 +1,16 @@
 // Package serving is the concurrent serving front-end of the system: a
 // thread-safe micro-batching dispatcher over a sharded pool of batch
-// classification engines.
+// classification engines, with an optional request-level result cache and
+// live engine-pool replacement.
 //
-// Concurrent callers submit single documents with Server.Tag; a dispatcher
-// goroutine coalesces them into batches — flushing when MaxBatch requests
-// are pending or MaxDelay has passed since the first one, whichever comes
-// first — and hands each batch to one engine of the shard pool. Every
-// engine is driven by exactly one goroutine, so engines themselves need no
-// internal locking (a *doctagger.Tagger, which is not safe for concurrent
-// use, plugs in directly via AutoTagBatch).
+// Concurrent callers submit single documents with Server.Tag (or many at
+// once with Server.TagBatch); a dispatcher goroutine coalesces them into
+// batches — flushing when MaxBatch requests are pending or MaxDelay has
+// passed since the first one, whichever comes first — and hands each batch
+// to one engine of the shard pool. Every engine is driven by exactly one
+// goroutine, so engines themselves need no internal locking (a
+// *doctagger.Tagger, which is not safe for concurrent use, plugs in
+// directly via AutoTagBatch).
 //
 // Batching is how the pool absorbs heavy traffic: one AutoTagBatch call
 // amortizes the swarm's query fan-out and network drain over many
@@ -17,13 +19,26 @@
 // backpressure: submitters block (or fail fast, when configured) instead of
 // growing memory without limit. Close drains — every accepted request is
 // answered before shutdown completes.
+//
+// With Config.CacheSize > 0 a sharded bounded LRU keyed on document text
+// answers repeated queries without touching the dispatcher at all. Caching
+// is sound because queries never feed back into the models: identical text
+// means identical tags for as long as one engine generation serves.
+//
+// Swap installs a new engine generation under live traffic: new shard
+// goroutines start on a fresh batch channel, the dispatcher switches over
+// between batches, the old shards drain their in-flight work and exit, and
+// the cache flushes so no answer outlives the models that produced it. No
+// accepted request is ever dropped by a Swap.
 package serving
 
 import (
 	"context"
 	"errors"
 	"fmt"
+	"slices"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -31,13 +46,16 @@ import (
 // implemented by (*doctagger.Tagger).AutoTagBatch. The contract mirrors
 // AutoTagBatch: one tag list per input text in input order; rows the engine
 // cannot answer are nil, and the returned error wraps the underlying cause
-// of the first failed row. Engines need not be safe for concurrent use; the
-// Server serializes all calls to one engine on a single goroutine.
+// of the first failed row. Answered rows should be non-nil (an empty answer
+// as an empty list): when the batch error is set, a nil row cannot be told
+// apart from the failed one and is treated as failed. Engines need not be
+// safe for concurrent use; the Server serializes all calls to one engine on
+// a single goroutine.
 type Engine interface {
 	AutoTagBatch(texts []string) ([][]string, error)
 }
 
-// Errors returned by Tag.
+// Errors returned by Tag, TagBatch and Swap.
 var (
 	// ErrClosed is returned for requests submitted after Close began.
 	ErrClosed = errors.New("serving: server is closed")
@@ -65,6 +83,11 @@ type Config struct {
 	// FailFast makes Tag return ErrOverloaded immediately when the queue
 	// is full instead of blocking until space frees up.
 	FailFast bool
+	// CacheSize bounds the request-level result cache (entries across all
+	// cache shards); 0 disables caching. Repeated queries for the same
+	// text are answered from the cache without entering the dispatcher;
+	// the cache flushes whenever Swap installs a new engine generation.
+	CacheSize int
 }
 
 func (c *Config) defaults() error {
@@ -86,6 +109,9 @@ func (c *Config) defaults() error {
 	if c.MaxQueue < 1 {
 		return fmt.Errorf("serving: MaxQueue %d < 1", c.MaxQueue)
 	}
+	if c.CacheSize < 0 {
+		return fmt.Errorf("serving: negative CacheSize %d", c.CacheSize)
+	}
 	return nil
 }
 
@@ -102,12 +128,20 @@ var bucketBounds = [8]int{1, 2, 4, 8, 16, 32, 64, 0}
 
 // Stats is a point-in-time snapshot of the server's counters.
 type Stats struct {
-	// Shards is the engine pool size.
+	// Shards is the engine pool size of the current generation.
 	Shards int
-	// Requests counts submissions accepted into the queue.
+	// Generation counts engine pools installed so far: 1 at New, +1 per
+	// successful Swap.
+	Generation int64
+	// Requests counts submissions accepted into the queue (cache hits are
+	// answered before the queue and counted in CacheHits instead).
 	Requests int64
 	// Served counts completed requests, failed ones included.
 	Served int64
+	// Deduped counts TagBatch rows answered by intra-batch deduplication:
+	// duplicate texts in one call are computed once and fanned out, so
+	// rows issued = Served + CacheHits + Deduped.
+	Deduped int64
 	// Errors counts requests that completed with an error.
 	Errors int64
 	// Rejected counts fail-fast rejections (never enqueued).
@@ -126,11 +160,19 @@ type Stats struct {
 	QueueWaitTotal time.Duration
 	QueueWaitMax   time.Duration
 	MeanQueueWait  time.Duration
+	// Cache counters; all zero when CacheSize is 0. CacheEntries is the
+	// current population, CacheCapacity the configured bound.
+	CacheHits      int64
+	CacheMisses    int64
+	CacheEvictions int64
+	CacheEntries   int
+	CacheCapacity  int
 }
 
 type result struct {
 	tags []string
 	err  error
+	gen  int64 // engine generation that produced the answer
 }
 
 type request struct {
@@ -139,24 +181,54 @@ type request struct {
 	ch       chan result // buffered(1): delivery never blocks a shard
 }
 
+// generation is one engine pool: a batch channel owned (as sender) solely
+// by the dispatcher, and one goroutine per engine reading it. Swapping
+// generations closes the old channel from the dispatcher — the only place
+// that can do so without racing a send.
+type generation struct {
+	id      int64
+	batches chan []*request
+	workers sync.WaitGroup
+}
+
+// swapReq asks the dispatcher to retire its current generation in favor of
+// gen; the dispatcher answers with the retired generation on reply.
+type swapReq struct {
+	gen   *generation
+	reply chan *generation
+}
+
 // Server is the micro-batching front-end. All methods are safe for
 // concurrent use.
 type Server struct {
-	cfg     Config
-	shards  int
-	queue   chan *request
-	batches chan []*request
+	cfg        Config
+	queue      chan *request
+	prebatched chan []*request // pre-formed TagBatch chunks, dispatcher-forwarded
+	swapc      chan swapReq
+	cache      *resultCache // nil when CacheSize is 0
 
-	mu      sync.Mutex // guards closed and the counters below
-	closed  bool
-	ctr     counters
-	pending sync.WaitGroup // accepted-but-unanswered requests
-	workers sync.WaitGroup // dispatcher + shard goroutines
-	done    chan struct{}  // closed when shutdown completes
+	// swapMu serializes Swap calls and excludes them against Close's
+	// closed-flag flip: a Swap that passes its closed-check is guaranteed
+	// a live dispatcher for the whole installation, so Swap can never
+	// "succeed" on a server that has already begun shutting down.
+	swapMu sync.Mutex
+
+	// closing mirrors closed for lock-free reads on the cache-hit fast
+	// path (which takes no other server-wide lock).
+	closing    atomic.Bool
+	mu         sync.Mutex // guards closed, shards, generation and the counters
+	closed     bool
+	shards     int
+	generation int64
+	ctr        counters
+	pending    sync.WaitGroup // accepted-but-unanswered requests
+	workers    sync.WaitGroup // dispatcher (which itself awaits its generation)
+	done       chan struct{}  // closed when shutdown completes
 }
 
 type counters struct {
 	requests, served, errors, rejected int64
+	deduped                            int64
 	batches, batchedDocs               int64
 	maxBatch                           int
 	hist                               [len(bucketBounds)]int64
@@ -175,27 +247,57 @@ func New(cfg Config, engines ...Engine) (*Server, error) {
 		return nil, err
 	}
 	s := &Server{
-		cfg:     cfg,
-		shards:  len(engines),
-		queue:   make(chan *request, cfg.MaxQueue),
-		batches: make(chan []*request),
-		done:    make(chan struct{}),
+		cfg:        cfg,
+		queue:      make(chan *request, cfg.MaxQueue),
+		prebatched: make(chan []*request),
+		swapc:      make(chan swapReq),
+		cache:      newResultCache(cfg.CacheSize),
+		shards:     len(engines),
+		generation: 1,
+		done:       make(chan struct{}),
 	}
-	s.workers.Add(1 + len(engines))
-	go s.dispatch()
-	for _, e := range engines {
-		go s.serve(e)
-	}
+	g := s.newGeneration(1, engines)
+	s.workers.Add(1)
+	go s.dispatch(g)
 	return s, nil
 }
 
+// newGeneration starts one shard goroutine per engine on a fresh batch
+// channel and returns the generation; the caller hands it to the
+// dispatcher (at New or through swapc).
+func (s *Server) newGeneration(id int64, engines []Engine) *generation {
+	g := &generation{id: id, batches: make(chan []*request)}
+	g.workers.Add(len(engines))
+	for _, e := range engines {
+		go s.serve(g, e)
+	}
+	return g
+}
+
 // Tag submits one document and blocks until the swarm answers, the context
-// is cancelled, or — in fail-fast mode — the queue is full. A context
+// is cancelled, or — in fail-fast mode — the queue is full. An
+// already-cancelled context never enqueues work, in either mode. A context
 // cancelled after submission abandons the wait but not the work: the
 // request still flows through its batch (counted in Served), its result
 // discarded.
 func (s *Server) Tag(ctx context.Context, text string) ([]string, error) {
-	req := &request{text: text, enqueued: time.Now(), ch: make(chan result, 1)}
+	// A pre-cancelled context must not win the submission select by
+	// chance: refuse before touching the queue.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	// Cache-hit fast path: no server-wide lock, no drain-set membership —
+	// a hit answers immediately and owes Close nothing. The lock-free
+	// closing check keeps the ErrClosed contract; the miss path re-checks
+	// under mu before entering the drain set.
+	if s.closing.Load() {
+		return nil, ErrClosed
+	}
+	if s.cache != nil {
+		if tags, ok := s.cache.get(text); ok {
+			return tags, nil
+		}
+	}
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -205,9 +307,13 @@ func (s *Server) Tag(ctx context.Context, text string) ([]string, error) {
 	// new request can join the drain set.
 	s.pending.Add(1)
 	s.mu.Unlock()
+	req := &request{text: text, enqueued: time.Now(), ch: make(chan result, 1)}
 	if s.cfg.FailFast {
 		select {
 		case s.queue <- req:
+		case <-ctx.Done():
+			s.pending.Done()
+			return nil, ctx.Err()
 		default:
 			s.pending.Done()
 			s.count(func(c *counters) { c.rejected++ })
@@ -224,61 +330,252 @@ func (s *Server) Tag(ctx context.Context, text string) ([]string, error) {
 	s.count(func(c *counters) { c.requests++ })
 	select {
 	case r := <-req.ch:
+		if r.err == nil && s.cache != nil {
+			s.cache.add(text, r.tags, r.gen)
+		}
 		return r.tags, r.err
 	case <-ctx.Done():
 		return nil, ctx.Err()
 	}
 }
 
+// TagBatch submits many documents at once. Unlike len(texts) separate Tag
+// calls, the documents skip per-request coalescing and enter the
+// dispatcher as pre-formed batches (chunked at MaxBatch), so a bulk caller
+// pays no MaxDelay and no queue contention. Answers are identical to
+// per-document Tag calls: one tag list per input in input order, rows the
+// swarm cannot answer nil, with the first failure reported as the error
+// alongside the remaining results (mirroring AutoTagBatch). Documents with
+// cached answers are served from the cache, duplicate texts are computed
+// once and fanned out to every duplicate row; only distinct misses reach
+// the engines.
+//
+// Submission blocks until the dispatcher accepts every chunk or ctx is
+// cancelled; TagBatch does not fail fast. As with Tag, cancelling after
+// submission abandons the wait, not the accepted work.
+func (s *Server) TagBatch(ctx context.Context, texts []string) ([][]string, error) {
+	if len(texts) == 0 {
+		return nil, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if s.closing.Load() {
+		return nil, ErrClosed
+	}
+	out := make([][]string, len(texts))
+	errs := make([]error, len(texts))
+	// Resolve cache hits first; only the misses need to join the drain
+	// set and travel through the dispatcher. Duplicate texts collapse to
+	// one request each — identical text means identical tags within a
+	// generation, so one computed answer fans out to every duplicate row.
+	var misses []*request
+	missIdx := make([][]int, 0, len(texts)) // output rows per miss
+	byText := make(map[string]int, len(texts))
+	var deduped int64
+	now := time.Now()
+	for i, text := range texts {
+		if j, ok := byText[text]; ok {
+			missIdx[j] = append(missIdx[j], i)
+			deduped++
+			continue
+		}
+		if s.cache != nil {
+			if tags, ok := s.cache.get(text); ok {
+				out[i] = tags
+				continue
+			}
+		}
+		byText[text] = len(misses)
+		misses = append(misses, &request{text: text, enqueued: now, ch: make(chan result, 1)})
+		missIdx = append(missIdx, []int{i})
+	}
+	if len(misses) == 0 {
+		return out, nil
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrClosed
+	}
+	s.pending.Add(len(misses))
+	s.mu.Unlock()
+	submitted := 0
+	for start := 0; start < len(misses); start += s.cfg.MaxBatch {
+		end := min(start+s.cfg.MaxBatch, len(misses))
+		chunk := misses[start:end:end]
+		select {
+		case s.prebatched <- chunk:
+			submitted = end
+			s.count(func(c *counters) { c.requests += int64(len(chunk)) })
+		case <-ctx.Done():
+			// Unsubmitted requests leave the drain set; submitted ones
+			// are abandoned but still flow through their batches.
+			for range misses[submitted:] {
+				s.pending.Done()
+			}
+			return nil, ctx.Err()
+		}
+	}
+	// Count fan-out rows only once every chunk is admitted, so the
+	// served + hits + deduped accounting never includes rows from a call
+	// that was cancelled or refused during submission.
+	if deduped > 0 {
+		s.count(func(c *counters) { c.deduped += deduped })
+	}
+	for j, r := range misses {
+		select {
+		case res := <-r.ch:
+			for k, i := range missIdx[j] {
+				if res.err != nil {
+					errs[i] = res.err
+					continue
+				}
+				if k == 0 {
+					out[i] = res.tags
+				} else {
+					// Duplicate rows get their own copy, matching the
+					// distinct slices per-row engine calls would return.
+					out[i] = slices.Clone(res.tags)
+				}
+			}
+			if res.err == nil && s.cache != nil {
+				s.cache.add(r.text, res.tags, res.gen)
+			}
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	var firstErr error
+	for i, e := range errs {
+		if e != nil {
+			firstErr = fmt.Errorf("serving: document %d: %w", i, e)
+			break
+		}
+	}
+	return out, firstErr
+}
+
+// Swap atomically installs a new engine generation under live traffic: the
+// new shards start first, the dispatcher switches to them between batches,
+// the old shards drain their in-flight batches and exit, and the result
+// cache flushes so no cached answer outlives the models that produced it.
+// No accepted request is dropped — work queued before the swap is simply
+// served by whichever generation its batch dispatches to. Swap returns
+// after the old generation has fully drained, so its engines are safe to
+// reuse (e.g. to refine offline and swap back in later).
+//
+// The new engines must answer interchangeably with each other; whether
+// they must also match the retired generation is the caller's consistency
+// contract, not the dispatcher's.
+func (s *Server) Swap(engines ...Engine) error {
+	if len(engines) == 0 {
+		return errors.New("serving: Swap needs at least one engine")
+	}
+	s.swapMu.Lock()
+	defer s.swapMu.Unlock()
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	id := s.generation + 1
+	s.mu.Unlock()
+	g := s.newGeneration(id, engines)
+	sw := swapReq{gen: g, reply: make(chan *generation, 1)}
+	select {
+	case s.swapc <- sw:
+	case <-s.done:
+		// Defensive only: holding swapMu, Close cannot flip closed under
+		// us, so a Swap that passed the check above always finds the
+		// dispatcher alive. Kept so a future Close refactor degrades to
+		// ErrClosed instead of a deadlock.
+		close(g.batches)
+		g.workers.Wait()
+		return ErrClosed
+	}
+	old := <-sw.reply
+	// Flush as soon as the dispatcher has switched, not after the old
+	// shards drain: from here on new-generation answers are cacheable,
+	// while any straggling old-generation result is rejected by its
+	// generation stamp — so a slow draining batch cannot stall or poison
+	// the cache.
+	if s.cache != nil {
+		s.cache.flush(id)
+	}
+	old.workers.Wait() // old shards have drained and exited
+	s.mu.Lock()
+	s.generation = id
+	s.shards = len(engines)
+	s.mu.Unlock()
+	return nil
+}
+
 // dispatch coalesces queued requests into batches: a batch opens with the
 // first request pulled from the queue and flushes at MaxBatch requests or
-// MaxDelay after opening, whichever comes first.
-func (s *Server) dispatch() {
-	defer s.workers.Done()
-	defer close(s.batches)
+// MaxDelay after opening, whichever comes first. Pre-formed TagBatch
+// chunks are forwarded as-is, and swap requests switch cur between
+// batches. The dispatcher is the sole sender on every generation's batch
+// channel, which is what makes closing one on swap or shutdown safe.
+func (s *Server) dispatch(cur *generation) {
+	defer func() {
+		close(cur.batches)
+		cur.workers.Wait()
+		s.workers.Done()
+	}()
 	timer := time.NewTimer(time.Hour)
 	if !timer.Stop() {
 		<-timer.C
 	}
 	for {
-		first, ok := <-s.queue
-		if !ok {
-			return
-		}
-		batch := append(make([]*request, 0, s.cfg.MaxBatch), first)
-		timer.Reset(s.cfg.MaxDelay)
-		open := true
-	collect:
-		for len(batch) < s.cfg.MaxBatch {
-			select {
-			case r, ok := <-s.queue:
-				if !ok {
-					open = false
+		select {
+		case first, ok := <-s.queue:
+			if !ok {
+				return
+			}
+			batch := append(make([]*request, 0, s.cfg.MaxBatch), first)
+			timer.Reset(s.cfg.MaxDelay)
+			open := true
+		collect:
+			for len(batch) < s.cfg.MaxBatch {
+				select {
+				case r, ok := <-s.queue:
+					if !ok {
+						open = false
+						break collect
+					}
+					batch = append(batch, r)
+				case <-timer.C:
 					break collect
 				}
-				batch = append(batch, r)
-			case <-timer.C:
-				break collect
 			}
-		}
-		if !timer.Stop() {
-			select {
-			case <-timer.C:
-			default:
+			if !timer.Stop() {
+				select {
+				case <-timer.C:
+				default:
+				}
 			}
-		}
-		s.batches <- batch
-		if !open {
-			return
+			cur.batches <- batch
+			if !open {
+				return
+			}
+		case chunk := <-s.prebatched:
+			cur.batches <- chunk
+		case sw := <-s.swapc:
+			close(cur.batches)
+			old := cur
+			cur = sw.gen
+			sw.reply <- old
 		}
 	}
 }
 
-// serve drives one engine: it owns every call into e, so e sees strictly
-// serial use.
-func (s *Server) serve(e Engine) {
-	defer s.workers.Done()
-	for batch := range s.batches {
+// serve drives one engine of generation g: it owns every call into e, so e
+// sees strictly serial use. It exits when g's batch channel closes (swap
+// or shutdown), after finishing any in-flight batch.
+func (s *Server) serve(g *generation, e Engine) {
+	defer g.workers.Done()
+	for batch := range g.batches {
 		start := time.Now()
 		texts := make([]string, len(batch))
 		for i, r := range batch {
@@ -296,12 +593,16 @@ func (s *Server) serve(e Engine) {
 		}
 		var failed int64
 		for i, r := range batch {
-			var res result
+			res := result{gen: g.id}
 			switch {
 			case i < len(out) && out[i] != nil:
 				res.tags = out[i]
 			case err == nil && i < len(out):
-				// A nil row without an error is a legal empty answer.
+				// A nil row without an error is a legal empty answer;
+				// normalize it to an empty non-nil list so that a nil
+				// answer always means failure (TagBatch callers rely on
+				// the distinction to retry exactly the failed rows).
+				res.tags = []string{}
 			case err != nil:
 				res.err = cause
 			default:
@@ -359,11 +660,15 @@ func (s *Server) count(f func(*counters)) {
 func (s *Server) Stats() Stats {
 	s.mu.Lock()
 	c := s.ctr
+	shards := s.shards
+	gen := s.generation
 	s.mu.Unlock()
 	st := Stats{
-		Shards:         s.shards,
+		Shards:         shards,
+		Generation:     gen,
 		Requests:       c.requests,
 		Served:         c.served,
+		Deduped:        c.deduped,
 		Errors:         c.errors,
 		Rejected:       c.rejected,
 		Batches:        c.batches,
@@ -382,6 +687,13 @@ func (s *Server) Stats() Stats {
 	for i, le := range bucketBounds {
 		st.BatchSizeHist[i] = BatchBucket{Le: le, Count: c.hist[i]}
 	}
+	if s.cache != nil {
+		st.CacheHits = s.cache.hits.Load()
+		st.CacheMisses = s.cache.misses.Load()
+		st.CacheEvictions = s.cache.evictions.Load()
+		st.CacheEntries = s.cache.len()
+		st.CacheCapacity = s.cache.capacity
+	}
 	return st
 }
 
@@ -390,16 +702,24 @@ func (s *Server) Stats() Stats {
 // goroutines exit. Close blocks until the drain completes and is safe to
 // call more than once (later calls wait for the first to finish).
 func (s *Server) Close() {
+	// Taking swapMu excludes an in-flight Swap: either the swap fully
+	// installs before we flip closed (and we drain through the new
+	// generation), or it starts after and fails its closed-check — Swap
+	// can never report success on a server that has begun shutting down.
+	s.swapMu.Lock()
 	s.mu.Lock()
 	already := s.closed
 	s.closed = true
 	s.mu.Unlock()
+	s.closing.Store(true)
+	s.swapMu.Unlock()
 	if already {
 		<-s.done
 		return
 	}
 	// Every request ever admitted past the closed check is registered in
-	// pending, and the dispatcher is still consuming, so this terminates.
+	// pending, and the dispatcher is still consuming — both the queue and
+	// pre-formed chunks — so this terminates.
 	s.pending.Wait()
 	close(s.queue)
 	s.workers.Wait()

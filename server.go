@@ -4,14 +4,15 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/serving"
 )
 
 // ServerConfig tunes the concurrent serving front-end. The zero value
-// batches up to 32 documents, waits at most 2ms for a batch to fill, and
-// bounds the queue at 8*MaxBatch.
+// batches up to 32 documents, waits at most 2ms for a batch to fill,
+// bounds the queue at 8*MaxBatch, and disables the result cache.
 type ServerConfig struct {
 	// MaxBatch flushes a batch at this many coalesced requests;
 	// default 32.
@@ -25,6 +26,13 @@ type ServerConfig struct {
 	// FailFast rejects submissions with ErrOverloaded when the queue is
 	// full instead of blocking callers.
 	FailFast bool
+	// CacheSize bounds the request-level result cache; 0 disables it.
+	// Repeated queries for identical text are answered from a sharded LRU
+	// without re-entering the swarm — sound because queries never feed
+	// back into the models. The cache flushes whenever Swap or Refresh
+	// installs a new tagger generation, so a cached answer never outlives
+	// the models that produced it.
+	CacheSize int
 }
 
 // Serving errors, re-exported so callers need not import internal
@@ -45,14 +53,20 @@ type BatchBucket struct {
 }
 
 // ServerStats snapshots a Server's counters: request/batch accounting from
-// the dispatcher plus the simulated swarms' aggregate traffic.
+// the dispatcher, cache performance, the model generation, plus the
+// simulated swarms' aggregate traffic.
 type ServerStats struct {
-	// Shards is the tagger pool size.
+	// Shards is the tagger pool size of the current generation.
 	Shards int
+	// Generation counts tagger pools installed so far: 1 at NewServer,
+	// +1 per successful Swap/Refresh.
+	Generation int64
 	// Requests counts accepted submissions; Served counts completed ones
 	// (failures included); Errors counts requests answered with an error;
-	// Rejected counts fail-fast rejections.
-	Requests, Served, Errors, Rejected int64
+	// Rejected counts fail-fast rejections; Deduped counts TagBatch rows
+	// answered by intra-batch deduplication (rows issued = Served +
+	// CacheHits + Deduped).
+	Requests, Served, Errors, Rejected, Deduped int64
 	// Batches counts AutoTagBatch invocations, BatchedDocs sums their
 	// sizes; MeanBatchSize is their ratio and MaxBatchSeen the largest
 	// batch dispatched.
@@ -64,7 +78,14 @@ type ServerStats struct {
 	// QueueWait* aggregate time spent between submission and the start of
 	// the batch's engine call.
 	QueueWaitTotal, QueueWaitMax, MeanQueueWait time.Duration
-	// Network aggregates simulated traffic across every shard's swarm.
+	// Cache counters; all zero when ServerConfig.CacheSize is 0.
+	CacheHits, CacheMisses, CacheEvictions int64
+	CacheEntries, CacheCapacity            int
+	// Network aggregates the simulated traffic every shard's swarm
+	// generated while serving under this Server, retired generations
+	// included (traffic from before a generation's install — training,
+	// offline refinement — is not counted; see (*Tagger).Stats for a
+	// swarm's own cumulative view).
 	Network NetworkStats
 }
 
@@ -79,10 +100,32 @@ type ServerStats struct {
 // byte-identical answers — queries never feed back into the models, and
 // the term-frequency features of a document do not depend on what was
 // vectorized before it — which is what makes the pool transparent: results
-// equal serial single-document AutoTag calls on any one shard.
+// equal serial single-document AutoTag calls on any one shard. The same
+// property is what makes the optional result cache (ServerConfig.CacheSize)
+// sound: within one generation, identical text means identical tags.
+//
+// The pool is not frozen at build time: Swap and Refresh install a new
+// tagger generation under live traffic — this is how (*Tagger).Refine
+// reaches live serving. Refine a retired (or freshly built) generation
+// offline, then swap it in; in-flight requests drain on the old models and
+// the cache flushes.
 type Server struct {
-	inner   *serving.Server
+	inner *serving.Server
+
+	refreshMu sync.Mutex // serializes Swap/Refresh
+
+	mu      sync.Mutex // guards taggers, baselines and retired
 	taggers []*Tagger
+	// baselines[i] is taggers[i]'s cumulative swarm traffic at the moment
+	// it was installed; Stats counts only the excess, so Network is the
+	// traffic generated while serving under this Server — uniformly
+	// across generations, whether a tagger arrived fresh or is a
+	// swapped-back retiree (whose earlier service is in retired already).
+	// retired accumulates the while-installed traffic of swapped-out
+	// generations, keeping Network cumulative across refreshes without
+	// retaining references to dead generations.
+	baselines []NetworkStats
+	retired   NetworkStats
 }
 
 // NewServer builds a Server over already-trained taggers, one shard per
@@ -90,8 +133,42 @@ type Server struct {
 // exclusive ownership of each) and should be identically trained; see the
 // Server doc. At least one tagger is required.
 func NewServer(cfg ServerConfig, taggers ...*Tagger) (*Server, error) {
+	engines, err := poolEngines(taggers)
+	if err != nil {
+		return nil, err
+	}
+	inner, err := serving.New(serving.Config{
+		MaxBatch:  cfg.MaxBatch,
+		MaxDelay:  cfg.MaxDelay,
+		MaxQueue:  cfg.MaxQueue,
+		FailFast:  cfg.FailFast,
+		CacheSize: cfg.CacheSize,
+	}, engines...)
+	if err != nil {
+		return nil, err
+	}
+	return &Server{
+		inner:     inner,
+		taggers:   append([]*Tagger(nil), taggers...),
+		baselines: installBaselines(taggers),
+	}, nil
+}
+
+// installBaselines snapshots each tagger's cumulative traffic at install
+// time; only traffic beyond it counts toward the server's Network stats.
+func installBaselines(taggers []*Tagger) []NetworkStats {
+	baselines := make([]NetworkStats, len(taggers))
+	for i, tg := range taggers {
+		baselines[i] = tg.Stats()
+	}
+	return baselines
+}
+
+// poolEngines validates a tagger generation — non-empty, non-nil,
+// distinct, trained — and adapts it to the serving layer.
+func poolEngines(taggers []*Tagger) ([]serving.Engine, error) {
 	if len(taggers) == 0 {
-		return nil, errors.New("doctagger: NewServer needs at least one tagger")
+		return nil, errors.New("doctagger: a server pool needs at least one tagger")
 	}
 	engines := make([]serving.Engine, len(taggers))
 	seen := make(map[*Tagger]bool, len(taggers))
@@ -108,16 +185,7 @@ func NewServer(cfg ServerConfig, taggers ...*Tagger) (*Server, error) {
 		}
 		engines[i] = tg
 	}
-	inner, err := serving.New(serving.Config{
-		MaxBatch: cfg.MaxBatch,
-		MaxDelay: cfg.MaxDelay,
-		MaxQueue: cfg.MaxQueue,
-		FailFast: cfg.FailFast,
-	}, engines...)
-	if err != nil {
-		return nil, err
-	}
-	return &Server{inner: inner, taggers: taggers}, nil
+	return engines, nil
 }
 
 // NewReplicatedServer builds shards identical taggers with build (called
@@ -129,6 +197,16 @@ func NewReplicatedServer(shards int, cfg ServerConfig, build func(shard int) (*T
 	if shards < 1 {
 		return nil, fmt.Errorf("doctagger: %d shards < 1", shards)
 	}
+	taggers, err := buildGeneration(shards, build)
+	if err != nil {
+		return nil, err
+	}
+	return NewServer(cfg, taggers...)
+}
+
+// buildGeneration builds one tagger per shard with build, wrapping any
+// failure with its shard index.
+func buildGeneration(shards int, build func(shard int) (*Tagger, error)) ([]*Tagger, error) {
 	taggers := make([]*Tagger, shards)
 	for i := range taggers {
 		tg, err := build(i)
@@ -137,26 +215,122 @@ func NewReplicatedServer(shards int, cfg ServerConfig, build func(shard int) (*T
 		}
 		taggers[i] = tg
 	}
-	return NewServer(cfg, taggers...)
+	return taggers, nil
 }
 
 // Tag submits one document and blocks until the swarm answers, ctx is
 // cancelled, or — in fail-fast mode — the queue is full. Safe for
-// arbitrary concurrent use.
+// arbitrary concurrent use. An already-cancelled ctx never enqueues work.
 func (s *Server) Tag(ctx context.Context, text string) ([]string, error) {
 	return s.inner.Tag(ctx, text)
 }
 
-// Stats snapshots the serving counters and the aggregate simulated traffic
-// of every shard's swarm. Safe to call while the server is running.
+// TagBatch submits many documents at once: they enter the dispatcher as
+// pre-formed batches (chunked at MaxBatch) instead of coalescing through
+// the per-request queue, so a bulk caller pays no MaxDelay. Answers are
+// pinned identical to per-document Tag calls — one tag list per input in
+// input order, unanswerable rows nil, the first failure reported as the
+// error alongside the remaining results (the AutoTagBatch contract).
+func (s *Server) TagBatch(ctx context.Context, texts []string) ([][]string, error) {
+	return s.inner.TagBatch(ctx, texts)
+}
+
+// Swap installs taggers as the new serving generation under live traffic
+// and returns the retired generation, fully drained and safe to reuse —
+// refine it offline and swap it back in later. In-flight and queued
+// requests are never dropped: they are answered by whichever generation
+// their batch dispatches to, and the result cache flushes so no cached
+// answer outlives its models. The new taggers are validated like
+// NewServer's and must not still be serving (a tagger can be in at most
+// one live generation, since each shard is driven by its own goroutine).
+func (s *Server) Swap(taggers ...*Tagger) ([]*Tagger, error) {
+	s.refreshMu.Lock()
+	defer s.refreshMu.Unlock()
+	return s.swapLocked(taggers)
+}
+
+// swapLocked is Swap's body; the caller holds refreshMu.
+func (s *Server) swapLocked(taggers []*Tagger) ([]*Tagger, error) {
+	engines, err := poolEngines(taggers)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	current := make(map[*Tagger]bool, len(s.taggers))
+	for _, tg := range s.taggers {
+		current[tg] = true
+	}
+	s.mu.Unlock()
+	for i, tg := range taggers {
+		if current[tg] {
+			return nil, fmt.Errorf("doctagger: shard %d is still serving in the current generation", i)
+		}
+	}
+	// Snapshot the incoming generation's baselines before it can serve a
+	// single request (the dispatcher switches inside inner.Swap, which
+	// also waits out the old generation's drain — traffic served during
+	// that window must not disappear into the baseline).
+	newBaselines := installBaselines(taggers)
+	if err := s.inner.Swap(engines...); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	old := s.taggers
+	for i, tg := range old {
+		// Fold in what the retiring generation served while installed.
+		ns := tg.Stats()
+		s.retired.Messages += ns.Messages - s.baselines[i].Messages
+		s.retired.Bytes += ns.Bytes - s.baselines[i].Bytes
+	}
+	s.taggers = append([]*Tagger(nil), taggers...)
+	s.baselines = newBaselines
+	s.mu.Unlock()
+	return old, nil
+}
+
+// Refresh rebuilds the pool with build (called with each shard index, like
+// NewReplicatedServer) and swaps the new generation in under live traffic.
+// This is the serving face of tag refinement: refinements applied to a
+// fresh training round reach live queries here, without restarting the
+// server or dropping a request. The retired taggers are discarded; use
+// Swap directly to keep them. Concurrent Refresh calls serialize around
+// the whole rebuild, not just the swap, so retrains never run
+// concurrently; each queued caller still performs its own rebuild once
+// the lock frees (back-to-back installs, not wasted parallel ones).
+// Refresh reports the generation number it installed — read it from the
+// return value, not a later Stats snapshot, which a queued refresh may
+// already have advanced.
+func (s *Server) Refresh(build func(shard int) (*Tagger, error)) (int64, error) {
+	s.refreshMu.Lock()
+	defer s.refreshMu.Unlock()
+	s.mu.Lock()
+	shards := len(s.taggers)
+	s.mu.Unlock()
+	taggers, err := buildGeneration(shards, build)
+	if err != nil {
+		return 0, err
+	}
+	if _, err := s.swapLocked(taggers); err != nil {
+		return 0, err
+	}
+	// Stable while refreshMu is held: no other Swap/Refresh can advance
+	// the generation underneath us.
+	return s.inner.Stats().Generation, nil
+}
+
+// Stats snapshots the serving counters and the aggregate simulated
+// traffic the shards' swarms generated while serving (retired generations
+// included). Safe to call while the server is running.
 func (s *Server) Stats() ServerStats {
 	st := s.inner.Stats()
 	out := ServerStats{
 		Shards:         st.Shards,
+		Generation:     st.Generation,
 		Requests:       st.Requests,
 		Served:         st.Served,
 		Errors:         st.Errors,
 		Rejected:       st.Rejected,
+		Deduped:        st.Deduped,
 		Batches:        st.Batches,
 		BatchedDocs:    st.BatchedDocs,
 		MeanBatchSize:  st.MeanBatchSize,
@@ -164,16 +338,29 @@ func (s *Server) Stats() ServerStats {
 		QueueWaitTotal: st.QueueWaitTotal,
 		QueueWaitMax:   st.QueueWaitMax,
 		MeanQueueWait:  st.MeanQueueWait,
+		CacheHits:      st.CacheHits,
+		CacheMisses:    st.CacheMisses,
+		CacheEvictions: st.CacheEvictions,
+		CacheEntries:   st.CacheEntries,
+		CacheCapacity:  st.CacheCapacity,
 	}
 	out.BatchSizeHist = make([]BatchBucket, len(st.BatchSizeHist))
 	for i, b := range st.BatchSizeHist {
 		out.BatchSizeHist[i] = BatchBucket{Le: b.Le, Count: b.Count}
 	}
-	for _, tg := range s.taggers {
+	// Aggregate under the lock: a concurrent Swap retires taggers and
+	// folds their traffic into retired, and the retirees' owner may
+	// refine them immediately after — reading tg.Stats() on a stale
+	// snapshot would attribute that offline traffic here. tg.Stats() is
+	// a cheap counter read, so holding mu across the loop is fine.
+	s.mu.Lock()
+	out.Network = s.retired
+	for i, tg := range s.taggers {
 		ns := tg.Stats()
-		out.Network.Messages += ns.Messages
-		out.Network.Bytes += ns.Bytes
+		out.Network.Messages += ns.Messages - s.baselines[i].Messages
+		out.Network.Bytes += ns.Bytes - s.baselines[i].Bytes
 	}
+	s.mu.Unlock()
 	return out
 }
 
