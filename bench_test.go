@@ -255,33 +255,7 @@ func BenchmarkParallelSpeedup(b *testing.B) {
 // corpus; repeated calls yield identically trained instances, which is what
 // the serving pool requires of its shards.
 func benchTagger(b *testing.B) *doctagger.Tagger {
-	b.Helper()
-	tg, err := doctagger.New(doctagger.Config{Protocol: doctagger.ProtocolCEMPaR, Peers: 8, Regions: 2, Seed: 1})
-	if err != nil {
-		b.Fatal(err)
-	}
-	texts := []struct {
-		tag  string
-		docs []string
-	}{
-		{"music", []string{"guitar melody chord song album track", "piano concert symphony orchestra"}},
-		{"travel", []string{"flight hotel passport beach island", "train station luggage itinerary map"}},
-	}
-	peer := 0
-	for _, topic := range texts {
-		for _, text := range topic.docs {
-			for rep := 0; rep < 3; rep++ {
-				if err := tg.AddDocument(peer%8, text, topic.tag); err != nil {
-					b.Fatal(err)
-				}
-				peer++
-			}
-		}
-	}
-	if err := tg.Train(); err != nil {
-		b.Fatal(err)
-	}
-	return tg
+	return benchProtoTagger(b, doctagger.ProtocolCEMPaR)
 }
 
 // BenchmarkTaggerSuggest measures the latency of one suggestion query on a
@@ -387,4 +361,55 @@ func BenchmarkServing(b *testing.B) {
 			b.ReportMetric(float64(st.CacheHits), "hits")
 		})
 	}
+}
+
+// BenchmarkAutoTag measures single-document tagging — preprocess + scoring
+// + tag selection — on a trained swarm. The cempar variant includes the
+// simulated super-peer query round-trip (event scheduling dominates); the
+// local variant predicts synchronously, isolating the pure
+// preprocess+score fast path whose allocation budget this PR pins.
+func BenchmarkAutoTag(b *testing.B) {
+	for _, proto := range []string{doctagger.ProtocolCEMPaR, doctagger.ProtocolLocal} {
+		b.Run(proto, func(b *testing.B) {
+			tg := benchProtoTagger(b, proto)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := tg.AutoTag("a new album with a guitar melody and a piano track"); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// benchProtoTagger is benchTagger with a protocol choice.
+func benchProtoTagger(b *testing.B, proto string) *doctagger.Tagger {
+	b.Helper()
+	tg, err := doctagger.New(doctagger.Config{Protocol: proto, Peers: 8, Regions: 2, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	texts := []struct {
+		tag  string
+		docs []string
+	}{
+		{"music", []string{"guitar melody chord song album track", "piano concert symphony orchestra"}},
+		{"travel", []string{"flight hotel passport beach island", "train station luggage itinerary map"}},
+	}
+	peer := 0
+	for _, topic := range texts {
+		for _, text := range topic.docs {
+			for rep := 0; rep < 3; rep++ {
+				if err := tg.AddDocument(peer%8, text, topic.tag); err != nil {
+					b.Fatal(err)
+				}
+				peer++
+			}
+		}
+	}
+	if err := tg.Train(); err != nil {
+		b.Fatal(err)
+	}
+	return tg
 }

@@ -413,8 +413,8 @@ func serveHTTP(a *app, o options) error {
 		return fmt.Errorf("http shutdown: %w", shutdownErr)
 	}
 	st := a.pool.Stats()
-	log.Printf("drained: served %d requests in %d batches (mean batch %.2f, %d cache hits)",
-		st.Served, st.Batches, st.MeanBatchSize, st.CacheHits)
+	log.Printf("drained: served %d requests in %d batches (mean batch %.2f, %d cache hits, %d coalesced)",
+		st.Served, st.Batches, st.MeanBatchSize, st.CacheHits, st.Coalesced)
 	return <-errc
 }
 
@@ -430,6 +430,7 @@ type loadgenRun struct {
 	MeanBatchSize float64 `json:"mean_batch_size"`
 	MeanWaitUS    float64 `json:"mean_queue_wait_us"`
 	CacheHits     int64   `json:"cache_hits"`
+	Coalesced     int64   `json:"coalesced"`
 }
 
 // speedup is the cache-on/cache-off throughput ratio at one concurrency
@@ -577,11 +578,12 @@ func runLevel(pool *doctagger.Server, mix queryMix, clients, requests int) loadg
 	after := pool.Stats()
 	run := loadgenRun{
 		Clients:   clients,
-		Requests:  (after.Served - before.Served) + (after.CacheHits - before.CacheHits),
+		Requests:  (after.Served - before.Served) + (after.CacheHits - before.CacheHits) + (after.Coalesced - before.Coalesced),
 		Errors:    after.Errors - before.Errors,
 		Seconds:   elapsed.Seconds(),
 		Batches:   after.Batches - before.Batches,
 		CacheHits: after.CacheHits - before.CacheHits,
+		Coalesced: after.Coalesced - before.Coalesced,
 	}
 	if run.Seconds > 0 {
 		run.RequestsPerS = float64(run.Requests) / run.Seconds

@@ -1,0 +1,272 @@
+// Command tagbench measures the tagging-path performance trajectory: it
+// trains swarms on the standard synthetic corpus and reports, per
+// protocol, single-document AutoTag throughput (docs/sec) with p50/p99
+// latency and allocations per document, plus two micro-sections for the
+// stages this repository optimizes — pooled preprocessing
+// (Preprocessor.Vectorize) and fused multi-tag linear scoring (one
+// CSR pass over the document vs one dot product per tag). With -json it
+// writes the results as a machine-readable artifact, the tagging entry in
+// the performance trajectory next to BENCH_serving.json and
+// BENCH_simnet.json; the committed BENCH_tagging.json at the repository
+// root is a reference run.
+//
+// Usage:
+//
+//	tagbench [-peers 8] [-users 8] [-tags 8] [-queries 400] [-protocols cempar,local,centralized] [-json BENCH_tagging.json]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	doctagger "repro"
+	"repro/internal/protocol"
+	"repro/internal/svm"
+	"repro/internal/textproc"
+	"repro/internal/vector"
+)
+
+type protoRun struct {
+	Protocol    string  `json:"protocol"`
+	Tags        int     `json:"tags"`
+	Queries     int     `json:"queries"`
+	DocsPerS    float64 `json:"docs_per_s"`
+	P50MicroS   float64 `json:"p50_us"`
+	P99MicroS   float64 `json:"p99_us"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+}
+
+type microRun struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+type scoringRun struct {
+	Tags          int     `json:"tags"`
+	PerTagNsPerOp float64 `json:"per_tag_ns_per_op"`
+	FusedNsPerOp  float64 `json:"fused_ns_per_op"`
+	Speedup       float64 `json:"speedup"`
+}
+
+type report struct {
+	GOMAXPROCS int        `json:"gomaxprocs"`
+	Users      int        `json:"users"`
+	Peers      int        `json:"peers"`
+	AutoTag    []protoRun `json:"autotag"`
+	Vectorize  microRun   `json:"vectorize"`
+	Scoring    scoringRun `json:"fused_scoring"`
+	Note       string     `json:"note"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tagbench: ")
+	var (
+		users     = flag.Int("users", 8, "corpus users (one peer per user)")
+		numTags   = flag.Int("tags", 8, "corpus tag universe")
+		queries   = flag.Int("queries", 400, "AutoTag calls per protocol")
+		protoList = flag.String("protocols", "cempar,local,centralized", "comma-separated protocols to measure")
+		seed      = flag.Int64("seed", 3, "corpus and swarm seed")
+		jsonPath  = flag.String("json", "", "write results to this JSON file")
+		extraNote = flag.String("note", "", "extra context appended to the report note (e.g. baseline comparison)")
+	)
+	flag.Parse()
+
+	docs, tags, err := doctagger.GenerateCorpus(doctagger.CorpusConfig{
+		Users: *users, NumTags: *numTags, Seed: *seed,
+		DocsPerUserMin: 20, DocsPerUserMax: 30,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	train, test := doctagger.SplitCorpus(docs, 0.3, *seed)
+	if len(test) == 0 {
+		log.Fatal("empty test split")
+	}
+	rep := report{
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Users:      *users,
+		Peers:      *users,
+		Note: fmt.Sprintf("single-process run, GOMAXPROCS=%d; latencies include the simulated "+
+			"swarm's event processing for network protocols (local = pure preprocess+score path)",
+			runtime.GOMAXPROCS(0)),
+	}
+	if *extraNote != "" {
+		rep.Note += "; " + *extraNote
+	}
+
+	for _, proto := range strings.Split(*protoList, ",") {
+		proto = strings.TrimSpace(proto)
+		r, err := benchProtocol(proto, train, test, *users, *queries, *seed)
+		if err != nil {
+			log.Fatalf("%s: %v", proto, err)
+		}
+		r.Tags = len(tags)
+		rep.AutoTag = append(rep.AutoTag, r)
+		fmt.Printf("autotag/%-12s %9.0f docs/s   p50 %7.1fus   p99 %7.1fus   %5.1f allocs/op\n",
+			proto, r.DocsPerS, r.P50MicroS, r.P99MicroS, r.AllocsPerOp)
+	}
+
+	rep.Vectorize = benchVectorize(train)
+	fmt.Printf("vectorize          %9.0f ns/op   %5.1f allocs/op\n",
+		rep.Vectorize.NsPerOp, rep.Vectorize.AllocsPerOp)
+
+	rep.Scoring = benchScoring(train, test, *seed)
+	fmt.Printf("scoring %d tags:   per-tag %7.0f ns/op   fused %7.0f ns/op   %.2fx\n",
+		rep.Scoring.Tags, rep.Scoring.PerTagNsPerOp, rep.Scoring.FusedNsPerOp, rep.Scoring.Speedup)
+
+	if *jsonPath != "" {
+		blob, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*jsonPath, append(blob, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote %s", *jsonPath)
+	}
+}
+
+// benchProtocol trains one swarm and measures per-document AutoTag.
+func benchProtocol(proto string, train, test []doctagger.CorpusDoc, peers, queries int, seed int64) (protoRun, error) {
+	tg, err := doctagger.New(doctagger.Config{Protocol: proto, Peers: peers, Seed: seed})
+	if err != nil {
+		return protoRun{}, err
+	}
+	for _, d := range train {
+		if err := tg.AddDocument(d.User%peers, d.Text, d.Tags...); err != nil {
+			return protoRun{}, err
+		}
+	}
+	if err := tg.Train(); err != nil {
+		return protoRun{}, err
+	}
+	// Warm pools and caches.
+	if _, err := tg.AutoTag(test[0].Text); err != nil {
+		return protoRun{}, err
+	}
+
+	lat := make([]time.Duration, queries)
+	var ms0, ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
+	start := time.Now()
+	for i := 0; i < queries; i++ {
+		t0 := time.Now()
+		if _, err := tg.AutoTag(test[i%len(test)].Text); err != nil {
+			return protoRun{}, err
+		}
+		lat[i] = time.Since(t0)
+	}
+	total := time.Since(start)
+	runtime.ReadMemStats(&ms1)
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	q := float64(queries)
+	return protoRun{
+		Protocol:    proto,
+		Queries:     queries,
+		DocsPerS:    q / total.Seconds(),
+		P50MicroS:   float64(lat[queries/2].Microseconds()),
+		P99MicroS:   float64(lat[queries*99/100].Microseconds()),
+		AllocsPerOp: float64(ms1.Mallocs-ms0.Mallocs) / q,
+		BytesPerOp:  float64(ms1.TotalAlloc-ms0.TotalAlloc) / q,
+	}, nil
+}
+
+// benchVectorize measures the pooled preprocessing fast path alone.
+func benchVectorize(train []doctagger.CorpusDoc) microRun {
+	p := textproc.NewPreprocessor(nil, textproc.Options{Normalize: true})
+	for _, d := range train {
+		p.Vectorize(d.Text) // warm the lexicon
+	}
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			p.Vectorize(train[i%len(train)].Text)
+		}
+	})
+	return microRun{
+		NsPerOp:     float64(res.NsPerOp()),
+		AllocsPerOp: float64(res.AllocsPerOp()),
+	}
+}
+
+// benchScoring trains a one-vs-all linear bank on the corpus and compares
+// per-tag Decision scoring against the fused CSR pass over identical
+// documents, verifying equality as it goes.
+func benchScoring(train, test []doctagger.CorpusDoc, seed int64) scoringRun {
+	pre := textproc.NewPreprocessor(nil, textproc.Options{Normalize: true})
+	var pdocs []protocol.Doc
+	for _, d := range train {
+		pdocs = append(pdocs, protocol.Doc{X: pre.Vectorize(d.Text), Tags: d.Tags})
+	}
+	bank := make(map[string]*svm.LinearModel)
+	for _, tag := range protocol.TagUniverse(pdocs) {
+		m, err := svm.TrainLinear(protocol.BinaryExamples(pdocs, tag), svm.LinearOptions{Seed: seed})
+		if err != nil {
+			continue
+		}
+		// Prune like the deployed ensembles do before models cross the
+		// wire (PACE and realnet ship at 0.02): the fused matrix scores
+		// the bank shape that production queries actually see.
+		bank[tag] = m.Pruned(0.02)
+	}
+	fused := svm.NewFusedLinear(bank)
+	if fused == nil {
+		log.Fatal("scoring bench: no trainable tags")
+	}
+	order := fused.Tags()
+	var queries []*protocolDocVec
+	for i := 0; i < len(test) && i < 64; i++ {
+		queries = append(queries, &protocolDocVec{x: pre.Vectorize(test[i].Text)})
+	}
+
+	perTag := testing.Benchmark(func(b *testing.B) {
+		var sink float64
+		for i := 0; i < b.N; i++ {
+			q := queries[i%len(queries)]
+			for _, tag := range order {
+				sink += bank[tag].Decision(q.x)
+			}
+		}
+		_ = sink
+	})
+	buf := make([]float64, len(order))
+	fusedRes := testing.Benchmark(func(b *testing.B) {
+		var sink float64
+		for i := 0; i < b.N; i++ {
+			buf = fused.ScoreInto(queries[i%len(queries)].x, buf)
+			sink += buf[0]
+		}
+		_ = sink
+	})
+
+	// Sanity: fused must equal per-tag exactly (also pinned in svm tests).
+	for _, q := range queries {
+		buf = fused.ScoreInto(q.x, buf)
+		for i, tag := range order {
+			if buf[i] != bank[tag].Decision(q.x) {
+				log.Fatalf("fused score diverged from per-tag Decision on tag %s", tag)
+			}
+		}
+	}
+
+	pt := float64(perTag.NsPerOp())
+	fu := float64(fusedRes.NsPerOp())
+	return scoringRun{
+		Tags:          len(order),
+		PerTagNsPerOp: pt,
+		FusedNsPerOp:  fu,
+		Speedup:       pt / fu,
+	}
+}
+
+type protocolDocVec struct{ x *vector.Sparse }

@@ -119,4 +119,38 @@
 //     built) generation offline, then swap it in — the paper's "upon the
 //     refinement of tags, P2PDocTagger will automatically update the
 //     classification model(s)", made concurrent.
+//   - Single-flight dedup (always on): concurrent Tag calls for identical
+//     text coalesce onto one in-flight swarm query per model generation;
+//     followers wait for the leader's answer instead of issuing their own
+//     (ServerStats.Coalesced counts them). Same soundness argument as the
+//     cache, same generation purity: Swap discards the in-flight table.
+//
+// # Inference fast path
+//
+// Every cache miss runs the zero-allocation inference fast path:
+//
+//   - Pooled preprocessing: Vectorize tokenizes, filters, stems (in place,
+//     on bytes) and counts terms on a sync.Pool workspace — zero
+//     allocations in steady state except the returned vector itself (two
+//     allocations; terms new to the lexicon add O(1) amortized more).
+//     Workspaces must never escape the call that took them from the pool;
+//     everything handed to callers is copied out.
+//   - Fused multi-tag scoring: each protocol packs its per-tag linear
+//     models into one svm.FusedLinear inverted score matrix (feature id ->
+//     per-tag weights; CSR cells for sparse pruned ensembles, dense rows
+//     for shared-pool banks), so scoring T tags is one ascending pass over
+//     the document's non-zero entries instead of T dot products. The
+//     matrix is immutable derived data, rebuilt wherever the bank changes
+//     (retraining, Refine, serving Swap/Refresh).
+//   - Cached kernel norms: RBF KernelModels precompute their support
+//     vectors' squared norms (KernelModel.Precompute, called at every
+//     construction site) and hoist the query norm, so each kernel
+//     evaluation is a single sparse dot product.
+//
+// Every stage is pinned byte-identical to the straightforward
+// implementation it replaced — reference copies of the seed tokenizer,
+// vectorizer and kernel evaluation live in the tests and must agree on
+// exact float64 bit patterns — so the fast path changes latency, never
+// answers. cmd/tagbench measures the trajectory (docs/sec, p50/p99,
+// allocs/op, fused-vs-per-tag scoring) and writes BENCH_tagging.json.
 package doctagger

@@ -461,3 +461,75 @@ func TestLibraryPersistence(t *testing.T) {
 		t.Error("persistence failed")
 	}
 }
+
+// TestFastPathPinnedOnStandardCorpus pins the inference fast path on the
+// standard synthetic corpus: for every protocol, Suggest's score cloud is
+// byte-identical across identically built twin swarms (pooled
+// preprocessing, fused linear scoring and cached-norm kernel decisions
+// introduce no nondeterminism), and AutoTag / AutoTagBatch / the
+// tag-selection rule applied to Suggest all agree document by document.
+// The layer-level slow-path equality lives in the textproc and svm
+// reference pins; this test guards the composed vertical slice.
+func TestFastPathPinnedOnStandardCorpus(t *testing.T) {
+	docs, _, err := GenerateCorpus(CorpusConfig{Users: 6, NumTags: 6, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, test := SplitCorpus(docs, 0.2, 3)
+	if len(test) > 12 {
+		test = test[:12]
+	}
+	for _, proto := range []string{ProtocolCEMPaR, ProtocolPACE, ProtocolCentralized, ProtocolLocal} {
+		t.Run(proto, func(t *testing.T) {
+			build := func() *Tagger {
+				tg, err := New(Config{Protocol: proto, Peers: 6, Seed: 7})
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, d := range train {
+					if err := tg.AddDocument(d.User%6, d.Text, d.Tags...); err != nil {
+						t.Fatal(err)
+					}
+				}
+				if err := tg.Train(); err != nil {
+					t.Fatal(err)
+				}
+				return tg
+			}
+			a, b := build(), build()
+			queries := make([]string, len(test))
+			for i, d := range test {
+				queries[i] = d.Text
+			}
+			batch, err := b.AutoTagBatch(queries)
+			if err != nil {
+				t.Fatalf("AutoTagBatch: %v", err)
+			}
+			for i, d := range test {
+				sugg, err := a.Suggest(d.Text)
+				if err != nil {
+					t.Fatalf("Suggest(doc %d): %v", i, err)
+				}
+				sugg2, err := b.Suggest(d.Text)
+				if err != nil {
+					t.Fatalf("twin Suggest(doc %d): %v", i, err)
+				}
+				if len(sugg) != len(sugg2) {
+					t.Fatalf("doc %d: twin clouds differ in size: %d != %d", i, len(sugg), len(sugg2))
+				}
+				for j := range sugg {
+					if sugg[j] != sugg2[j] {
+						t.Fatalf("doc %d: twin swarms diverge at %d: %+v != %+v", i, j, sugg[j], sugg2[j])
+					}
+				}
+				tags, err := a.AutoTag(d.Text)
+				if err != nil {
+					t.Fatalf("AutoTag(doc %d): %v", i, err)
+				}
+				if strings.Join(tags, ",") != strings.Join(batch[i], ",") {
+					t.Errorf("doc %d: AutoTag %v != AutoTagBatch %v", i, tags, batch[i])
+				}
+			}
+		})
+	}
+}

@@ -44,6 +44,14 @@ type Centralized struct {
 	dirty  bool           // pool changed since last training
 	models map[string]*svm.LinearModel
 	platt  map[string]svm.PlattParams
+	// fused packs the one-vs-all bank into a single inverted score matrix
+	// so a query scores every tag in one pass over its features (rebuilt
+	// by retrainIfDirty); scoreBuf is its reused output buffer — safe
+	// without a lock because all scoring happens either in the
+	// coordinator's handler (serial per node under the sharded simulator)
+	// or in Predict while the simulated clock is stopped.
+	fused    *svm.FusedLinear
+	scoreBuf []float64
 	// pending queries awaiting coordinator answers, bucketed by origin so
 	// an answer handled at its origin touches only that origin's bucket
 	// (required by the sharded simulator).
@@ -137,8 +145,11 @@ func (c *Centralized) handle(self simnet.NodeID, m simnet.Message) {
 		c.retrainIfDirty()
 		q := m.Payload.(centralQuery)
 		scores := make(map[string]float64, len(c.models))
-		for tag, mdl := range c.models {
-			scores[tag] = c.platt[tag].Prob(mdl.Decision(q.x))
+		if c.fused != nil {
+			c.scoreBuf = c.fused.ScoreInto(q.x, c.scoreBuf)
+			for i, tag := range c.fused.Tags() {
+				scores[tag] = c.platt[tag].Prob(c.scoreBuf[i])
+			}
 		}
 		c.net.Send(simnet.Message{
 			From: self, To: q.origin, Kind: "central.answer",
@@ -197,6 +208,7 @@ func (c *Centralized) retrainIfDirty() {
 		c.models[tag] = models[i].model
 		c.platt[tag] = models[i].platt
 	}
+	c.fused = svm.NewFusedLinear(c.models)
 }
 
 // Predict implements protocol.Classifier: the vector travels to the
@@ -215,8 +227,11 @@ func (c *Centralized) Predict(from simnet.NodeID, x *vector.Sparse, cb func([]me
 	if from == c.cfg.Coordinator {
 		c.retrainIfDirty()
 		scores := make([]metrics.ScoredTag, 0, len(c.models))
-		for tag, mdl := range c.models {
-			scores = append(scores, metrics.ScoredTag{Tag: tag, Score: c.platt[tag].Prob(mdl.Decision(x))})
+		if c.fused != nil {
+			c.scoreBuf = c.fused.ScoreInto(x, c.scoreBuf)
+			for i, tag := range c.fused.Tags() {
+				scores = append(scores, metrics.ScoredTag{Tag: tag, Score: c.platt[tag].Prob(c.scoreBuf[i])})
+			}
 		}
 		cb(scores, true)
 		return
@@ -266,6 +281,11 @@ type Local struct {
 	docs   map[simnet.NodeID][]protocol.Doc
 	c      float64
 	seed   int64
+	// fused holds each peer's bank as an inverted score matrix (rebuilt
+	// with the models on Fit/Refine); scoreBuf is the reused scoring
+	// buffer — Predict runs serially per System, like every protocol here.
+	fused    map[simnet.NodeID]*svm.FusedLinear
+	scoreBuf []float64
 }
 
 // NewLocal registers no-op handlers for ids on net (so the same node set
@@ -281,6 +301,7 @@ func NewLocal(net *simnet.Network, ids []simnet.NodeID, c float64, seed int64) *
 		docs:   make(map[simnet.NodeID][]protocol.Doc),
 		c:      c,
 		seed:   seed,
+		fused:  make(map[simnet.NodeID]*svm.FusedLinear),
 	}
 	for _, id := range ids {
 		net.AddNode(id, simnet.HandlerFunc(func(*simnet.Network, simnet.Message) {}))
@@ -314,6 +335,7 @@ func (l *Local) Fit() {
 	for i, id := range ids {
 		l.models[id] = trained[i].models
 		l.platt[id] = trained[i].platt
+		l.fused[id] = svm.NewFusedLinear(trained[i].models)
 	}
 }
 
@@ -340,16 +362,17 @@ func (l *Local) Predict(from simnet.NodeID, x *vector.Sparse, cb func([]metrics.
 		cb(nil, false)
 		return
 	}
-	ms := l.models[from]
-	if len(ms) == 0 {
+	fu := l.fused[from]
+	if fu == nil {
 		cb(nil, false)
 		return
 	}
-	out := make([]metrics.ScoredTag, 0, len(ms))
-	for tag, m := range ms {
-		out = append(out, metrics.ScoredTag{Tag: tag, Score: l.platt[from][tag].Prob(m.Decision(x))})
+	l.scoreBuf = fu.ScoreInto(x, l.scoreBuf)
+	out := make([]metrics.ScoredTag, 0, fu.NumTags())
+	platt := l.platt[from]
+	for i, tag := range fu.Tags() {
+		out = append(out, metrics.ScoredTag{Tag: tag, Score: platt[tag].Prob(l.scoreBuf[i])})
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Tag < out[j].Tag })
 	cb(out, true)
 }
 
@@ -357,4 +380,5 @@ func (l *Local) Predict(from simnet.NodeID, x *vector.Sparse, cb func([]metrics.
 func (l *Local) Refine(peer simnet.NodeID, doc protocol.Doc) {
 	l.docs[peer] = append(l.docs[peer], doc)
 	l.models[peer], l.platt[peer] = l.trainPeer(peer)
+	l.fused[peer] = svm.NewFusedLinear(l.models[peer])
 }

@@ -444,6 +444,7 @@ func sampleModel(samples []protocol.Doc, tag string, k svm.Kernel, c float64) *s
 	for _, ex := range protocol.BinaryExamples(samples, tag) {
 		m.SVs = append(m.SVs, svm.SupportVector{X: ex.X, Coeff: ex.Y * c})
 	}
+	m.Precompute()
 	return m
 }
 

@@ -109,15 +109,46 @@ func gauss(u1, u2 float64) float64 {
 	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
 }
 
+// sigScratch holds the pooled scratch of signature computation: per-plane
+// dot accumulators and the per-table signatures a Query reuses between its
+// exact and Hamming-widened candidate phases (previously recomputed).
+// Scratch never escapes the call that took it from the pool.
+type sigScratch struct {
+	dots []float64
+	sigs []uint64
+}
+
+var sigPool = sync.Pool{New: func() any { return new(sigScratch) }}
+
 // signature computes the bit signature of v under table t.
 func (ix *Index) signature(t int, v *vector.Sparse) uint64 {
-	var sig uint64
-	base := t * ix.opts.Planes
-	for p := 0; p < ix.opts.Planes; p++ {
-		var dot float64
-		for _, e := range v.Entries() {
-			dot += e.Value * ix.coeff(base+p, e.Index)
+	sc := sigPool.Get().(*sigScratch)
+	sig := ix.signatureInto(t, v, sc)
+	sigPool.Put(sc)
+	return sig
+}
+
+// signatureInto is signature with caller-provided scratch. Per plane, the
+// dot product accumulates over v's entries in ascending feature order —
+// the same order as the historical per-plane loop, so signatures are
+// unchanged.
+func (ix *Index) signatureInto(t int, v *vector.Sparse, sc *sigScratch) uint64 {
+	planes := ix.opts.Planes
+	if cap(sc.dots) < planes {
+		sc.dots = make([]float64, planes)
+	}
+	dots := sc.dots[:planes]
+	for p := range dots {
+		dots[p] = 0
+	}
+	base := t * planes
+	for _, e := range v.Entries() {
+		for p := 0; p < planes; p++ {
+			dots[p] += e.Value * ix.coeff(base+p, e.Index)
 		}
+	}
+	var sig uint64
+	for p, dot := range dots {
 		if dot >= 0 {
 			sig |= 1 << uint(p)
 		}
@@ -187,23 +218,33 @@ func (ix *Index) Query(q *vector.Sparse, k int) []Neighbor {
 	if k <= 0 || len(ix.items) == 0 {
 		return nil
 	}
+	// Compute each table's query signature once into pooled scratch; the
+	// Hamming-distance-1 widening below reuses them instead of redoing
+	// the planes*nnz dot products per table.
+	sc := sigPool.Get().(*sigScratch)
+	if cap(sc.sigs) < len(ix.tables) {
+		sc.sigs = make([]uint64, len(ix.tables))
+	}
+	sigs := sc.sigs[:len(ix.tables)]
+	for t := range ix.tables {
+		sigs[t] = ix.signatureInto(t, q, sc)
+	}
 	cand := make(map[int]bool)
 	for t := range ix.tables {
-		sig := ix.signature(t, q)
-		for _, id := range ix.tables[t][sig] {
+		for _, id := range ix.tables[t][sigs[t]] {
 			cand[id] = true
 		}
 	}
 	if len(cand) < k {
 		for t := range ix.tables {
-			sig := ix.signature(t, q)
 			for p := 0; p < ix.opts.Planes; p++ {
-				for _, id := range ix.tables[t][sig^(1<<uint(p))] {
+				for _, id := range ix.tables[t][sigs[t]^(1<<uint(p))] {
 					cand[id] = true
 				}
 			}
 		}
 	}
+	sigPool.Put(sc)
 	if len(cand) < k {
 		for id := range ix.items {
 			cand[id] = true

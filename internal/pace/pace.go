@@ -81,13 +81,19 @@ func (c *Config) defaults() {
 }
 
 // modelSet is what one peer publishes: its per-tag linear models with
-// their training accuracies, and its data centroids.
+// their training accuracies, and its data centroids. fused is derived
+// data built once by the sender (after pruning/noising): the per-tag bank
+// packed into one inverted score matrix so a prediction scores every tag
+// of the set in a single pass over the document. It is read-only after
+// construction — receivers on any simulator shard share it safely — and
+// contributes nothing to the wire size.
 type modelSet struct {
 	from      simnet.NodeID
 	models    map[string]*svm.LinearModel
 	accuracy  map[string]float64
 	platt     map[string]svm.PlattParams
 	centroids []*vector.Sparse
+	fused     *svm.FusedLinear
 }
 
 func (ms *modelSet) wireSize() int {
@@ -133,6 +139,7 @@ type System struct {
 	index       *lsh.Index
 	centroidRef []centroidRef
 	indexed     map[simnet.NodeID]*indexedSet // per-sender index bookkeeping
+	scoreBuf    []float64                     // reused fused-scoring buffer (Predict is serial per System)
 }
 
 // indexedSet records which model-set version of a sender is in the shared
@@ -259,6 +266,7 @@ func (s *System) trainLocal(id simnet.NodeID) {
 	if err == nil {
 		ms.centroids = res.Centroids
 	}
+	ms.fused = svm.NewFusedLinear(ms.models)
 	p.own = ms
 }
 
@@ -394,21 +402,22 @@ func (s *System) Predict(from simnet.NodeID, x *vector.Sparse, cb func([]metrics
 	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
 	for _, id := range order {
 		sl := chosen[id]
+		if sl.ms.fused == nil {
+			continue
+		}
 		// Weight models "according to their accuracy and distance from
 		// the test data"; models no better than chance are excluded.
+		// The fused matrix scores every tag of the set in one pass over
+		// x; its Tags() are sorted, preserving the historical per-tag
+		// iteration order.
 		proximity := 1 / (1 + sl.dist)
-		tags := make([]string, 0, len(sl.ms.models))
-		for tag := range sl.ms.models {
-			tags = append(tags, tag)
-		}
-		sort.Strings(tags)
-		for _, tag := range tags {
-			m := sl.ms.models[tag]
+		s.scoreBuf = sl.ms.fused.ScoreInto(x, s.scoreBuf)
+		for i, tag := range sl.ms.fused.Tags() {
 			w := (sl.ms.accuracy[tag] - 0.5) * proximity
 			if w <= 0 {
 				continue
 			}
-			p := sl.ms.platt[tag].Prob(m.Decision(x))
+			p := sl.ms.platt[tag].Prob(s.scoreBuf[i])
 			logitSum[tag] += w * logit(p)
 			weightSum[tag] += w
 		}

@@ -54,11 +54,15 @@ type Config struct {
 }
 
 // modelSet is what a node publishes: per-tag calibrated models with
-// cross-validated accuracies.
+// cross-validated accuracies. fused is the bank packed into one inverted
+// score matrix (derived, read-only, not serialized): Suggest scores all
+// of a set's tags in one pass over the document instead of one dot
+// product per tag.
 type modelSet struct {
 	models   map[string]*svm.LinearModel
 	platt    map[string]svm.PlattParams
 	accuracy map[string]float64
+	fused    *svm.FusedLinear
 }
 
 // Node is one real-network tagging peer. All exported methods are safe for
@@ -183,6 +187,7 @@ func (n *Node) Publish() (int, error) {
 	if len(ms.models) == 0 {
 		return 0, errors.New("realnet: local documents are one-class; tag more variety first")
 	}
+	ms.fused = svm.NewFusedLinear(ms.models)
 	n.mu.Lock()
 	n.own = ms
 	n.mu.Unlock()
@@ -225,18 +230,18 @@ func (n *Node) Suggest(text string) ([]metrics.ScoredTag, error) {
 	}
 	logitSum := map[string]float64{}
 	weightSum := map[string]float64{}
+	var dec []float64 // reused across sets within this call
 	for _, ms := range sets {
-		tags := make([]string, 0, len(ms.models))
-		for tag := range ms.models {
-			tags = append(tags, tag)
+		if ms.fused == nil {
+			continue
 		}
-		sort.Strings(tags)
-		for _, tag := range tags {
+		dec = ms.fused.ScoreInto(x, dec)
+		for i, tag := range ms.fused.Tags() {
 			w := ms.accuracy[tag] - 0.5
 			if w <= 0 {
 				continue
 			}
-			p := ms.platt[tag].Prob(ms.models[tag].Decision(x))
+			p := ms.platt[tag].Prob(dec[i])
 			logitSum[tag] += w * clampLogit(p)
 			weightSum[tag] += w
 		}
@@ -512,5 +517,6 @@ func decodeModelSet(payload []byte) (string, *modelSet, error) {
 		ms.platt[tag] = svm.PlattParams{A: math.Float64frombits(a), B: math.Float64frombits(b)}
 		ms.accuracy[tag] = math.Float64frombits(acc)
 	}
+	ms.fused = svm.NewFusedLinear(ms.models)
 	return string(sb), ms, nil
 }

@@ -153,8 +153,8 @@ func TestCacheConcurrentDeterminism(t *testing.T) {
 	}
 	st := s.Stats()
 	total := int64(clients * perClient)
-	if st.CacheHits+st.Served != total {
-		t.Errorf("hits %d + served %d != %d issued", st.CacheHits, st.Served, total)
+	if st.CacheHits+st.Served+st.Coalesced != total {
+		t.Errorf("hits %d + served %d + coalesced %d != %d issued", st.CacheHits, st.Served, st.Coalesced, total)
 	}
 	if st.CacheHits == 0 {
 		t.Error("no cache hits on an 8-key working set")

@@ -23,7 +23,10 @@
 // With Config.CacheSize > 0 a sharded bounded LRU keyed on document text
 // answers repeated queries without touching the dispatcher at all. Caching
 // is sound because queries never feed back into the models: identical text
-// means identical tags for as long as one engine generation serves.
+// means identical tags for as long as one engine generation serves. The
+// same soundness argument drives single-flight dedup, which is always on:
+// concurrent Tag calls for identical text coalesce onto one in-flight
+// engine query (Stats.Coalesced counts the riders).
 //
 // Swap installs a new engine generation under live traffic: new shard
 // goroutines start on a fresh batch channel, the dispatcher switches over
@@ -140,8 +143,15 @@ type Stats struct {
 	Served int64
 	// Deduped counts TagBatch rows answered by intra-batch deduplication:
 	// duplicate texts in one call are computed once and fanned out, so
-	// rows issued = Served + CacheHits + Deduped.
+	// rows issued = Served + CacheHits + Coalesced + Deduped.
 	Deduped int64
+	// Coalesced counts Tag calls answered by single-flight dedup: a miss
+	// for a text already in flight waits for that query's result instead
+	// of issuing its own. A follower whose context cancels mid-wait stays
+	// counted (mirroring how a cancelled-after-submit request stays in
+	// Served), so the issued = Served + CacheHits + Coalesced + Deduped
+	// identity is exact in the absence of cancellations.
+	Coalesced int64
 	// Errors counts requests that completed with an error.
 	Errors int64
 	// Rejected counts fail-fast rejections (never enqueued).
@@ -173,6 +183,18 @@ type result struct {
 	tags []string
 	err  error
 	gen  int64 // engine generation that produced the answer
+}
+
+// flight is one in-flight engine query that concurrent identical misses
+// coalesce onto (single-flight dedup): the first miss for a text becomes
+// the leader and travels through the dispatcher as usual; later Tag calls
+// for the same text while the leader is outstanding just wait for its
+// result. tags/err/gen are written once, before done closes.
+type flight struct {
+	done chan struct{}
+	tags []string
+	err  error
+	gen  int64
 }
 
 type request struct {
@@ -207,6 +229,14 @@ type Server struct {
 	swapc      chan swapReq
 	cache      *resultCache // nil when CacheSize is 0
 
+	// flightMu guards flights, the single-flight table of in-flight Tag
+	// misses by text. Entries are removed when their leader's result
+	// arrives; Swap discards the table (leaders still complete their
+	// waiters) so a post-swap miss always starts a fresh flight on the
+	// new generation.
+	flightMu sync.Mutex
+	flights  map[string]*flight
+
 	// swapMu serializes Swap calls and excludes them against Close's
 	// closed-flag flip: a Swap that passes its closed-check is guaranteed
 	// a live dispatcher for the whole installation, so Swap can never
@@ -228,7 +258,7 @@ type Server struct {
 
 type counters struct {
 	requests, served, errors, rejected int64
-	deduped                            int64
+	deduped, coalesced                 int64
 	batches, batchedDocs               int64
 	maxBatch                           int
 	hist                               [len(bucketBounds)]int64
@@ -252,6 +282,7 @@ func New(cfg Config, engines ...Engine) (*Server, error) {
 		prebatched: make(chan []*request),
 		swapc:      make(chan swapReq),
 		cache:      newResultCache(cfg.CacheSize),
+		flights:    make(map[string]*flight),
 		shards:     len(engines),
 		generation: 1,
 		done:       make(chan struct{}),
@@ -274,13 +305,45 @@ func (s *Server) newGeneration(id int64, engines []Engine) *generation {
 	return g
 }
 
+// errFlightAborted is the internal sentinel a flight carries when its
+// leader gave up before submitting the query (context cancelled during a
+// blocked enqueue); waiting followers re-enter Tag and race to lead a
+// fresh flight.
+var errFlightAborted = errors.New("serving: flight leader aborted before submitting")
+
 // Tag submits one document and blocks until the swarm answers, the context
 // is cancelled, or — in fail-fast mode — the queue is full. An
 // already-cancelled context never enqueues work, in either mode. A context
 // cancelled after submission abandons the wait but not the work: the
-// request still flows through its batch (counted in Served), its result
-// discarded.
+// request still flows through its batch (counted in Served) and its
+// result still completes the flight below (and the cache), even though
+// this caller no longer reads it.
+//
+// Concurrent Tag calls for identical text are single-flighted: the first
+// miss (the leader) issues the swarm query; identical misses arriving
+// while it is outstanding wait for the leader's result instead of issuing
+// their own, and are counted in Stats.Coalesced. Dedup shares the cache's
+// soundness argument — within one engine generation, identical text means
+// identical tags — and like the cache it is generation-pure: Swap discards
+// the in-flight table, so a miss after a swap always queries the new
+// models. Leaders share server-wide failures (ErrClosed, ErrOverloaded,
+// engine errors) with their followers; a leader cancelled before it could
+// submit hands the flight back, and its followers transparently retry.
 func (s *Server) Tag(ctx context.Context, text string) ([]string, error) {
+	for {
+		tags, err := s.tagOnce(ctx, text)
+		if err == errFlightAborted {
+			continue
+		}
+		return tags, err
+	}
+}
+
+// tagOnce is one attempt of Tag: answer from cache, join an in-flight
+// identical query, or lead a new one. It returns errFlightAborted only
+// when a joined flight's leader aborted before submitting, in which case
+// Tag retries.
+func (s *Server) tagOnce(ctx context.Context, text string) ([]string, error) {
 	// A pre-cancelled context must not win the submission select by
 	// chance: refuse before touching the queue.
 	if err := ctx.Err(); err != nil {
@@ -298,9 +361,42 @@ func (s *Server) Tag(ctx context.Context, text string) ([]string, error) {
 			return tags, nil
 		}
 	}
+	// Single-flight: join an identical in-flight miss, or register as the
+	// leader. Registration happens before enqueueing, so once a leader's
+	// request is visible in the counters every later identical miss is
+	// guaranteed to coalesce.
+	s.flightMu.Lock()
+	if f := s.flights[text]; f != nil {
+		s.flightMu.Unlock()
+		s.count(func(c *counters) { c.coalesced++ })
+		select {
+		case <-f.done:
+			if f.err == errFlightAborted {
+				// The leader never submitted; this join served nothing.
+				// Uncount it — the retry will count once wherever it
+				// lands (as a fresh leader in Requests, or as a
+				// follower of a live flight).
+				s.count(func(c *counters) { c.coalesced-- })
+				return nil, errFlightAborted
+			}
+			if f.err != nil {
+				return nil, f.err
+			}
+			// Followers get their own copy so no caller can mutate
+			// another waiter's slice.
+			return slices.Clone(f.tags), nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	f := &flight{done: make(chan struct{})}
+	s.flights[text] = f
+	s.flightMu.Unlock()
+
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
+		s.finishFlight(text, f, result{err: ErrClosed})
 		return nil, ErrClosed
 	}
 	// Registering under the lock pairs with Close: once closed is set, no
@@ -313,10 +409,12 @@ func (s *Server) Tag(ctx context.Context, text string) ([]string, error) {
 		case s.queue <- req:
 		case <-ctx.Done():
 			s.pending.Done()
+			s.abortFlight(text, f)
 			return nil, ctx.Err()
 		default:
 			s.pending.Done()
 			s.count(func(c *counters) { c.rejected++ })
+			s.finishFlight(text, f, result{err: ErrOverloaded})
 			return nil, ErrOverloaded
 		}
 	} else {
@@ -324,19 +422,53 @@ func (s *Server) Tag(ctx context.Context, text string) ([]string, error) {
 		case s.queue <- req:
 		case <-ctx.Done():
 			s.pending.Done()
+			s.abortFlight(text, f)
 			return nil, ctx.Err()
 		}
 	}
 	s.count(func(c *counters) { c.requests++ })
 	select {
 	case r := <-req.ch:
-		if r.err == nil && s.cache != nil {
-			s.cache.add(text, r.tags, r.gen)
-		}
+		s.settleFlight(text, f, r)
 		return r.tags, r.err
 	case <-ctx.Done():
+		// The accepted work still completes; hand flight (and cache)
+		// settlement to a helper so followers are not stranded.
+		go func() {
+			s.settleFlight(text, f, <-req.ch)
+		}()
 		return nil, ctx.Err()
 	}
+}
+
+// settleFlight records a leader's engine result: successful answers enter
+// the cache first (so a new request races toward a hit, not a duplicate
+// flight), then the flight completes and leaves the table.
+func (s *Server) settleFlight(text string, f *flight, r result) {
+	if r.err == nil && s.cache != nil {
+		s.cache.add(text, r.tags, r.gen)
+	}
+	s.finishFlight(text, f, r)
+}
+
+// finishFlight publishes r to f's waiters and removes f from the flight
+// table (unless a Swap already replaced the table). The flight keeps its
+// own copy of the tags: the leader's caller receives (and may mutate) the
+// engine's slice, so followers must never alias it.
+func (s *Server) finishFlight(text string, f *flight, r result) {
+	f.tags, f.err, f.gen = slices.Clone(r.tags), r.err, r.gen
+	s.flightMu.Lock()
+	if s.flights[text] == f {
+		delete(s.flights, text)
+	}
+	s.flightMu.Unlock()
+	close(f.done)
+}
+
+// abortFlight withdraws a flight whose leader could not submit its query;
+// followers retry against a fresh flight.
+func (s *Server) abortFlight(text string, f *flight) {
+	s.finishFlight(text, f, result{err: errFlightAborted})
 }
 
 // TagBatch submits many documents at once. Unlike len(texts) separate Tag
@@ -503,6 +635,13 @@ func (s *Server) Swap(engines ...Engine) error {
 	if s.cache != nil {
 		s.cache.flush(id)
 	}
+	// Discard the single-flight table for the same reason: a miss from
+	// here on must query the new generation, not piggyback on an
+	// old-generation leader. Outstanding leaders still complete their
+	// already-joined waiters (who submitted before the swap finished).
+	s.flightMu.Lock()
+	s.flights = make(map[string]*flight)
+	s.flightMu.Unlock()
 	old.workers.Wait() // old shards have drained and exited
 	s.mu.Lock()
 	s.generation = id
@@ -669,6 +808,7 @@ func (s *Server) Stats() Stats {
 		Requests:       c.requests,
 		Served:         c.served,
 		Deduped:        c.deduped,
+		Coalesced:      c.coalesced,
 		Errors:         c.errors,
 		Rejected:       c.rejected,
 		Batches:        c.batches,

@@ -534,8 +534,8 @@ func TestSwapUnderLoad(t *testing.T) {
 	wg.Wait()
 	s.Close()
 	st := s.Stats()
-	if got := st.Served + st.CacheHits; got != issued.Load()+2 { // +2 probes
-		t.Errorf("served %d + hits %d != issued %d: requests dropped", st.Served, st.CacheHits, issued.Load()+2)
+	if got := st.Served + st.CacheHits + st.Coalesced; got != issued.Load()+2 { // +2 probes
+		t.Errorf("served %d + hits %d + coalesced %d != issued %d: requests dropped", st.Served, st.CacheHits, st.Coalesced, issued.Load()+2)
 	}
 	if answered.Load() != issued.Load() {
 		t.Errorf("answered %d of %d issued", answered.Load(), issued.Load())

@@ -1,0 +1,191 @@
+package svm
+
+import (
+	"sort"
+
+	"repro/internal/vector"
+)
+
+// FusedLinear scores a whole bank of one-vs-all LinearModels in a single
+// pass over a document. The per-tag weight vectors are packed into one
+// inverted score matrix mapping feature id -> per-tag weights, so scoring
+// T tags costs one walk over the document's non-zero entries instead of T
+// sparse-times-dense dot products over the same document — the dominant
+// per-query cost once preprocessing is pooled.
+//
+// Two layouts share the contract, chosen by bank density at construction:
+//
+//   - CSR: per feature, the (tag, weight) cells with non-zero weight.
+//     Wins when weights are sparse relative to the tag count — the shape
+//     of pruned per-peer ensembles (PACE, realnet) and of large tag
+//     universes, where most features matter to few tags.
+//   - Dense rows: per feature, a contiguous []float64 of every tag's
+//     weight (zeros included). Wins for banks trained on a shared pool
+//     (Centralized, Local), where almost every feature has a weight in
+//     every tag's model and CSR's 16-byte cells would only add overhead.
+//
+// Scores are bit-identical to calling (*LinearModel).Decision per tag in
+// either layout: the outer loop visits the document's entries in
+// ascending feature-id order, so every tag's partial sums accumulate in
+// exactly the order DotDense uses, and the bias is added after the sum
+// just as Decision does. (CSR skips zero weights and the dense layout
+// multiplies by them; neither changes an IEEE-754 running sum DotDense
+// could produce.) The svm tests pin this equality on randomized banks in
+// both layouts.
+//
+// A FusedLinear is immutable after New and safe for concurrent use; it is
+// rebuilt whenever its underlying model bank changes (retraining, refine,
+// serving Swap/Refresh).
+type FusedLinear struct {
+	tags []string
+	bias []float64
+	dim  int
+
+	// CSR layout (rows == nil): cells[rowStart[f]:rowStart[f+1]] are
+	// feature f's non-zero (tag, weight) cells.
+	rowStart []int32
+	cells    []fusedCell
+
+	// Dense layout (rows != nil): rows[f*len(tags) : (f+1)*len(tags)]
+	// is feature f's weight per tag.
+	rows []float64
+}
+
+// fusedCell is one non-zero weight: the tag (as an index into Tags) it
+// belongs to and its value.
+type fusedCell struct {
+	tag int32
+	w   float64
+}
+
+// denseLayoutThreshold is the bank fill fraction (non-zero weights over
+// dim*tags) above which the dense row layout replaces CSR: a 16-byte CSR
+// cell costs two dense slots, so well before half fill the dense walk is
+// both smaller per element and branch-free.
+const denseLayoutThreshold = 0.25
+
+// NewFusedLinear packs models (a per-tag one-vs-all bank) into a fused
+// score matrix. Returns nil for an empty bank, which callers treat as "no
+// models".
+func NewFusedLinear(models map[string]*LinearModel) *FusedLinear {
+	if len(models) == 0 {
+		return nil
+	}
+	tags := make([]string, 0, len(models))
+	for tag := range models {
+		tags = append(tags, tag)
+	}
+	sort.Strings(tags)
+	dim := 0
+	nnz := 0
+	for _, tag := range tags {
+		m := models[tag]
+		if len(m.W) > dim {
+			dim = len(m.W)
+		}
+		for _, w := range m.W {
+			if w != 0 {
+				nnz++
+			}
+		}
+	}
+	f := &FusedLinear{
+		tags: tags,
+		bias: make([]float64, len(tags)),
+		dim:  dim,
+	}
+	for ti, tag := range tags {
+		f.bias[ti] = models[tag].Bias
+	}
+	if float64(nnz) >= denseLayoutThreshold*float64(dim)*float64(len(tags)) {
+		f.rows = make([]float64, dim*len(tags))
+		for ti, tag := range tags {
+			for fid, w := range models[tag].W {
+				f.rows[fid*len(tags)+ti] = w
+			}
+		}
+		return f
+	}
+	f.rowStart = make([]int32, dim+1)
+	f.cells = make([]fusedCell, nnz)
+	// Counting pass: cells per feature row.
+	for _, tag := range tags {
+		for fid, w := range models[tag].W {
+			if w != 0 {
+				f.rowStart[fid+1]++
+			}
+		}
+	}
+	for fid := 0; fid < dim; fid++ {
+		f.rowStart[fid+1] += f.rowStart[fid]
+	}
+	// Fill pass: tags in sorted order, so each row lists its cells in
+	// ascending tag index (a stable, deterministic layout).
+	next := make([]int32, dim)
+	copy(next, f.rowStart[:dim])
+	for ti, tag := range tags {
+		for fid, w := range models[tag].W {
+			if w != 0 {
+				f.cells[next[fid]] = fusedCell{tag: int32(ti), w: w}
+				next[fid]++
+			}
+		}
+	}
+	return f
+}
+
+// Tags returns the tag names in score order (sorted ascending). Callers
+// must not modify the returned slice.
+func (f *FusedLinear) Tags() []string { return f.tags }
+
+// NumTags reports the bank size.
+func (f *FusedLinear) NumTags() int { return len(f.tags) }
+
+// ScoreInto computes the raw decision value w_t·x + b_t for every tag in
+// one ascending pass over x's non-zero entries, writing the results into
+// dst (grown if needed) indexed like Tags(). It allocates only when dst is
+// too small; pass a reused buffer for a zero-allocation steady state.
+func (f *FusedLinear) ScoreInto(x *vector.Sparse, dst []float64) []float64 {
+	nt := len(f.tags)
+	if cap(dst) < nt {
+		dst = make([]float64, nt)
+	}
+	dst = dst[:nt]
+	for i := range dst {
+		dst[i] = 0
+	}
+	dim := int32(f.dim)
+	if f.rows != nil {
+		for _, e := range x.Entries() {
+			if e.Index >= dim {
+				continue
+			}
+			row := f.rows[int(e.Index)*nt : int(e.Index)*nt+nt]
+			v := e.Value
+			for t, w := range row {
+				dst[t] += v * w
+			}
+		}
+	} else {
+		cells, rowStart := f.cells, f.rowStart
+		for _, e := range x.Entries() {
+			if e.Index >= dim {
+				continue
+			}
+			hi := rowStart[e.Index+1]
+			for k := rowStart[e.Index]; k < hi; k++ {
+				c := cells[k]
+				dst[c.tag] += e.Value * c.w
+			}
+		}
+	}
+	for i := range dst {
+		dst[i] += f.bias[i]
+	}
+	return dst
+}
+
+// Score is ScoreInto with a fresh result slice.
+func (f *FusedLinear) Score(x *vector.Sparse) []float64 {
+	return f.ScoreInto(x, nil)
+}

@@ -80,14 +80,70 @@ type SupportVector struct {
 // KernelModel is a kernel SVM decision function
 // f(x) = sum_i coeff_i k(sv_i, x) + b.
 type KernelModel struct {
-	Kernel  Kernel
-	SVs     []SupportVector
-	Bias    float64
-	kernelC func(a, b *vector.Sparse) float64
+	Kernel Kernel
+	SVs    []SupportVector
+	Bias   float64
+	// svNorms caches each support vector's squared norm for the RBF fast
+	// path (set by Precompute; nil means recompute per query). It is
+	// derived data: serialization ignores it and deserialization rebuilds
+	// it.
+	svNorms []float64
 }
 
-// Decision evaluates the kernel expansion at x.
+// Precompute caches the support vectors' squared norms so RBF Decision
+// stops recomputing them for every query. Call it after the SV set is
+// final; every construction site in this module does (TrainKernel, the
+// cascade, wire decoding). It rebuilds unconditionally — norms are cheap
+// next to training — so calling it again after mutating SVs always
+// refreshes the cache. Decision additionally falls back to per-query
+// norms when the cache length no longer matches the SV count (SVs
+// appended without a Precompute); replacing a vector in place without
+// calling Precompute is the one misuse neither guard catches.
+func (m *KernelModel) Precompute() {
+	norms := make([]float64, len(m.SVs))
+	for i, sv := range m.SVs {
+		norms[i] = sv.X.SquaredNorm()
+	}
+	m.svNorms = norms
+}
+
+// Decision evaluates the kernel expansion at x. For RBF kernels the
+// query's squared norm is computed once and the support vectors' squared
+// norms come from the Precompute cache, turning each kernel evaluation
+// into a single sparse dot product; the floating-point operation order is
+// unchanged from the naive evaluation, so decision values are
+// bit-identical (pinned by the svm tests).
 func (m *KernelModel) Decision(x *vector.Sparse) float64 {
+	if m.Kernel.Kind == KernelRBF {
+		gamma := m.Kernel.Gamma
+		if gamma == 0 {
+			gamma = 1
+		}
+		xn := x.SquaredNorm()
+		norms := m.svNorms
+		if len(norms) != len(m.SVs) {
+			norms = nil
+		}
+		sum := m.Bias
+		for i, sv := range m.SVs {
+			svn := 0.0
+			if norms != nil {
+				svn = norms[i]
+			} else {
+				svn = sv.X.SquaredNorm()
+			}
+			d := svn + xn - 2*sv.X.Dot(x)
+			if d < 0 {
+				d = 0
+			}
+			k := 0.0
+			if !math.IsNaN(d) {
+				k = math.Exp(-gamma * d)
+			}
+			sum += sv.Coeff * k
+		}
+		return sum
+	}
 	sum := m.Bias
 	for _, sv := range m.SVs {
 		sum += sv.Coeff * m.Kernel.Eval(sv.X, x)
@@ -292,6 +348,7 @@ func TrainKernel(data []Example, opts KernelOptions) (*KernelModel, error) {
 			}
 		}
 	}
+	m.Precompute()
 	return m, nil
 }
 

@@ -1,0 +1,92 @@
+//go:build !race
+
+package textproc
+
+import (
+	"strings"
+	"testing"
+)
+
+// Allocation-regression pins for the pooled preprocessing fast path.
+// The race detector instruments allocations, so this file is build-gated
+// out under -race rather than skipped at run time.
+
+const allocDoc = "the quick brown foxes are jumping over the lazy dogs while " +
+	"photographers adjusted their cameras and the conductor rehearsed a " +
+	"difficult symphony movement before tonight's concert performance"
+
+// TestVectorizeAllocBudget pins the steady-state Vectorize cost at 2
+// allocations: the returned vector's entry slice and the Sparse header.
+// Everything else — token arena, spans, stemming, term counting — runs on
+// the pooled workspace.
+func TestVectorizeAllocBudget(t *testing.T) {
+	for _, mode := range []struct {
+		name string
+		opts Options
+	}{
+		{"lexicon/tf", Options{Normalize: true}},
+		{"lexicon/tfidf", Options{Weighting: TFIDF, Normalize: true}},
+		{"hashed/tf", Options{Normalize: true, HashDim: 4096}},
+	} {
+		t.Run(mode.name, func(t *testing.T) {
+			p := NewPreprocessor(nil, mode.opts)
+			p.Vectorize(allocDoc) // warm lexicon, docFreq and pools
+			got := testing.AllocsPerRun(200, func() { p.Vectorize(allocDoc) })
+			if got > 2 {
+				t.Errorf("Vectorize: %.1f allocs/op, budget 2", got)
+			}
+		})
+	}
+}
+
+// TestTokenizeAllocBudget: Tokenize must cost exactly one slice plus one
+// string per token — no builder or trim churn.
+func TestTokenizeAllocBudget(t *testing.T) {
+	warm := Tokenize(allocDoc)
+	budget := float64(len(warm) + 1)
+	got := testing.AllocsPerRun(200, func() { Tokenize(allocDoc) })
+	if got > budget {
+		t.Errorf("Tokenize: %.1f allocs/op for %d tokens, budget %.0f", got, len(warm), budget)
+	}
+}
+
+// TestTermsAllocBudget: Terms materializes only the surviving stems.
+func TestTermsAllocBudget(t *testing.T) {
+	p := NewPreprocessor(nil, Options{})
+	warm := p.Terms(allocDoc)
+	budget := float64(len(warm) + 1)
+	got := testing.AllocsPerRun(200, func() { p.Terms(allocDoc) })
+	if got > budget {
+		t.Errorf("Terms: %.1f allocs/op for %d terms, budget %.0f", got, len(warm), budget)
+	}
+}
+
+// TestStemBytesZeroAlloc: in-place stemming allocates nothing, including
+// on rules that rewrite suffixes.
+func TestStemBytesZeroAlloc(t *testing.T) {
+	words := [][]byte{
+		[]byte("caresses"), []byte("motoring"), []byte("happy"),
+		[]byte("relational"), []byte("generalization"), []byte("electricity"),
+	}
+	scratch := make([]byte, 32)
+	got := testing.AllocsPerRun(200, func() {
+		for _, w := range words {
+			StemBytes(append(scratch[:0], w...))
+		}
+	})
+	if got > 0 {
+		t.Errorf("StemBytes: %.1f allocs/op, want 0", got)
+	}
+}
+
+// TestWorkspaceScalesWithDocument: a long document must not break the
+// budget either (arena growth is retained across calls).
+func TestWorkspaceScalesWithDocument(t *testing.T) {
+	long := strings.Repeat(allocDoc+" ", 50)
+	p := NewPreprocessor(nil, Options{Normalize: true})
+	p.Vectorize(long)
+	got := testing.AllocsPerRun(50, func() { p.Vectorize(long) })
+	if got > 2 {
+		t.Errorf("Vectorize(long): %.1f allocs/op, budget 2", got)
+	}
+}

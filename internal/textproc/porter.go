@@ -4,21 +4,57 @@ package textproc
 // paper specifies for document preprocessing. This is a faithful
 // implementation of the original five-step algorithm operating on
 // lower-case ASCII words; non-ASCII words are returned unchanged.
+//
+// The steps mutate their input in place: no rule ever grows the word
+// beyond its original length (every replacement suffix is at most as long
+// as the suffix it replaces, and step1b's appended 'e' follows the removal
+// of at least two bytes), so stemming needs no scratch beyond the word
+// itself. StemBytes exploits this on the preprocessing fast path.
 
 // Stem returns the Porter stem of word. The input is expected to be
 // lower case; words shorter than 3 letters are returned unchanged, as in
 // the reference implementation.
 func Stem(word string) string {
+	if !stemmable(word) {
+		return word
+	}
+	b := append(make([]byte, 0, len(word)), word...)
+	return string(stemASCII(b))
+}
+
+// StemBytes stems word in place and returns the (possibly shorter) stem,
+// aliasing word's storage. Words that are not lower-case ASCII of length
+// >= 3 are returned unchanged, exactly as Stem does. It never allocates.
+func StemBytes(word []byte) []byte {
 	if len(word) < 3 {
 		return word
 	}
-	for i := 0; i < len(word); i++ {
-		c := word[i]
+	for _, c := range word {
 		if c < 'a' || c > 'z' {
 			return word
 		}
 	}
-	b := []byte(word)
+	return stemASCII(word)
+}
+
+// stemmable reports whether the Porter steps apply: length >= 3 and pure
+// lower-case ASCII letters.
+func stemmable(word string) bool {
+	if len(word) < 3 {
+		return false
+	}
+	for i := 0; i < len(word); i++ {
+		c := word[i]
+		if c < 'a' || c > 'z' {
+			return false
+		}
+	}
+	return true
+}
+
+// stemASCII runs the five Porter steps, mutating b in place. Callers must
+// own b's storage; the result is a prefix-length reslice of b.
+func stemASCII(b []byte) []byte {
 	b = step1a(b)
 	b = step1b(b)
 	b = step1c(b)
@@ -27,7 +63,7 @@ func Stem(word string) string {
 	b = step4(b)
 	b = step5a(b)
 	b = step5b(b)
-	return string(b)
+	return b
 }
 
 // isConsonant reports whether b[i] is a consonant in Porter's sense:
@@ -111,19 +147,17 @@ func hasSuffix(b []byte, s string) bool {
 	return string(b[len(b)-len(s):]) == s
 }
 
-// replaceSuffix replaces suffix s with r if the stem before s has measure
-// greater than minM. Returns the (possibly new) word and whether the suffix
-// matched (regardless of the measure test).
+// replaceSuffix replaces suffix s with r (in place — r is never longer
+// than s in any Porter rule, so the write stays inside b) if the stem
+// before s has measure greater than minM. Returns the (possibly shorter)
+// word and whether the suffix matched (regardless of the measure test).
 func replaceSuffix(b []byte, s, r string, minM int) ([]byte, bool) {
 	if !hasSuffix(b, s) {
 		return b, false
 	}
 	stem := b[:len(b)-len(s)]
 	if measure(stem) > minM {
-		out := make([]byte, 0, len(stem)+len(r))
-		out = append(out, stem...)
-		out = append(out, r...)
-		return out, true
+		return append(stem, r...), true
 	}
 	return b, true
 }
@@ -175,10 +209,7 @@ func step1b(b []byte) []byte {
 
 func step1c(b []byte) []byte {
 	if hasSuffix(b, "y") && containsVowel(b[:len(b)-1]) {
-		out := make([]byte, len(b))
-		copy(out, b)
-		out[len(out)-1] = 'i'
-		return out
+		b[len(b)-1] = 'i'
 	}
 	return b
 }

@@ -6,54 +6,112 @@ package textproc
 
 import (
 	"fmt"
-	"hash/fnv"
 	"math"
+	"slices"
 	"sort"
 	"strings"
 	"sync"
 	"unicode"
+	"unicode/utf8"
 
 	"repro/internal/runner"
 	"repro/internal/vector"
 )
 
-// Tokenize splits raw text into lower-case word tokens. Tokens are maximal
-// runs of letters or digits containing at least one letter; pure numbers are
-// dropped since they carry little recognition value for tagging.
-// Apostrophes survive inside a word ("don't") so contractions match stop
-// words, but leading and trailing ones are stripped: "dogs'" must tokenize
-// as "dogs", or possessives and quoted words would never share a lexicon id
-// with the bare word.
-func Tokenize(text string) []string {
-	var tokens []string
-	var cur strings.Builder
+// span is one token's [start, end) byte range inside a workspace arena.
+type span struct{ start, end int }
+
+// workspace is the pooled per-call scratch of the preprocessing fast path.
+// Token bytes live back to back in arena with spans marking their ranges;
+// ids and entries carry the vectorization stages. Workspaces are reused
+// through wsPool, so steady-state tokenization, filtering and stemming
+// allocate nothing. A workspace must never escape the call that took it
+// from the pool: everything handed to callers is copied out first.
+type workspace struct {
+	arena   []byte
+	spans   []span
+	ids     []int32
+	entries []vector.Entry
+	idf     []float64
+}
+
+var wsPool = sync.Pool{New: func() any { return new(workspace) }}
+
+func getWorkspace() *workspace  { return wsPool.Get().(*workspace) }
+func putWorkspace(w *workspace) { wsPool.Put(w) }
+
+// tokenize fills ws.arena/ws.spans with the lower-case word tokens of
+// text: maximal runs of letters or digits containing at least one letter
+// (pure numbers are dropped since they carry little recognition value for
+// tagging). Apostrophes survive inside a word ("don't") so contractions
+// match stop words, but leading and trailing ones are stripped: "dogs'"
+// must tokenize as "dogs", or possessives and quoted words would never
+// share a lexicon id with the bare word.
+func (ws *workspace) tokenize(text string) {
+	ws.arena = ws.arena[:0]
+	ws.spans = ws.spans[:0]
+	start := 0
 	hasLetter := false
-	flush := func() {
-		if cur.Len() > 0 {
-			if hasLetter {
-				tokens = append(tokens, strings.TrimRight(cur.String(), "'"))
+	for _, r := range text {
+		switch {
+		case r < utf8.RuneSelf && ('a' <= r && r <= 'z' || 'A' <= r && r <= 'Z'):
+			// ASCII letter fast path: branch-free lower-casing.
+			ws.arena = append(ws.arena, byte(r)|0x20)
+			hasLetter = true
+		case r < utf8.RuneSelf && '0' <= r && r <= '9':
+			ws.arena = append(ws.arena, byte(r))
+		case r == '\'':
+			// Keep apostrophes inside words so stop words like "don't" match.
+			if len(ws.arena) > start {
+				ws.arena = append(ws.arena, '\'')
 			}
-			cur.Reset()
+		case unicode.IsLetter(r):
+			ws.arena = utf8.AppendRune(ws.arena, unicode.ToLower(r))
+			hasLetter = true
+		case unicode.IsDigit(r):
+			ws.arena = utf8.AppendRune(ws.arena, r)
+		default:
+			start = ws.flushToken(start, hasLetter)
 			hasLetter = false
 		}
 	}
-	for _, r := range text {
-		switch {
-		case unicode.IsLetter(r):
-			cur.WriteRune(unicode.ToLower(r))
-			hasLetter = true
-		case unicode.IsDigit(r):
-			cur.WriteRune(r)
-		case r == '\'':
-			// Keep apostrophes inside words so stop words like "don't" match.
-			if cur.Len() > 0 {
-				cur.WriteRune(r)
+	ws.flushToken(start, hasLetter)
+}
+
+// flushToken closes the token occupying ws.arena[start:]: trailing
+// apostrophes are trimmed and a span recorded when the token contains a
+// letter; letterless tokens (pure numbers) are discarded. Returns the
+// start of the next token.
+func (ws *workspace) flushToken(start int, hasLetter bool) int {
+	if end := len(ws.arena); end > start {
+		if hasLetter {
+			for end > start && ws.arena[end-1] == '\'' {
+				end--
 			}
-		default:
-			flush()
+			ws.spans = append(ws.spans, span{start, end})
+		} else {
+			end = start // discard letterless tokens (pure numbers)
 		}
+		ws.arena = ws.arena[:end]
 	}
-	flush()
+	return len(ws.arena)
+}
+
+// Tokenize splits raw text into lower-case word tokens; see
+// workspace.tokenize for the exact rules. The returned strings are
+// independent copies, so this costs one allocation per token — the tagging
+// fast path stays on workspace bytes and never materializes them.
+func Tokenize(text string) []string {
+	ws := getWorkspace()
+	defer putWorkspace(ws)
+	ws.tokenize(text)
+	if len(ws.spans) == 0 {
+		return nil
+	}
+	tokens := make([]string, len(ws.spans))
+	for i, sp := range ws.spans {
+		tokens[i] = string(ws.arena[sp.start:sp.end])
+	}
 	return tokens
 }
 
@@ -88,6 +146,19 @@ func (l *Lexicon) ID(word string) int32 {
 	l.ids[word] = id
 	l.words = append(l.words, word)
 	return id
+}
+
+// IDBytes is ID for a word held as bytes. The fast path — the word is
+// already interned — allocates nothing: a map index with a string(b)
+// conversion is free, and only an unseen word pays for its string.
+func (l *Lexicon) IDBytes(word []byte) int32 {
+	l.mu.RLock()
+	id, ok := l.ids[string(word)]
+	l.mu.RUnlock()
+	if ok {
+		return id
+	}
+	return l.ID(string(word))
 }
 
 // Lookup returns the id of word without assigning a new one.
@@ -209,31 +280,57 @@ func (p *Preprocessor) AddSensitiveWords(words ...string) {
 	}
 }
 
-// Terms tokenizes, filters and stems text, returning the surviving terms in
-// document order.
-func (p *Preprocessor) Terms(text string) []string {
-	tokens := Tokenize(text)
+// terms runs the filter-and-stem stage over ws's tokens in place: stop
+// words and sensitive words drop, apostrophes are stripped, and each
+// surviving token is Porter-stemmed inside the arena. ws.spans afterwards
+// holds the surviving terms in document order.
+func (p *Preprocessor) terms(ws *workspace) {
 	p.mu.RLock()
 	defer p.mu.RUnlock()
-	out := tokens[:0]
-	for _, t := range tokens {
-		if !p.opts.KeepStopWords && p.stop[t] {
+	out := ws.spans[:0]
+	for _, sp := range ws.spans {
+		tok := ws.arena[sp.start:sp.end]
+		// string(tok) in a map index does not allocate.
+		if !p.opts.KeepStopWords && p.stop[string(tok)] {
 			continue
 		}
-		if p.sensitive[t] {
+		if p.sensitive[string(tok)] {
 			continue
 		}
 		// Apostrophes served their purpose for stop-word matching; strip
-		// possessives before stemming.
-		t = strings.ReplaceAll(t, "'", "")
-		s := Stem(t)
+		// possessives before stemming. Compaction happens inside the
+		// token's own arena range, so later spans are untouched.
+		w := tok[:0]
+		for _, c := range tok {
+			if c != '\'' {
+				w = append(w, c)
+			}
+		}
+		s := StemBytes(w)
 		if len(s) < p.opts.MinWordLen {
 			continue
 		}
-		if p.sensitive[s] {
+		if p.sensitive[string(s)] {
 			continue
 		}
-		out = append(out, s)
+		out = append(out, span{sp.start, sp.start + len(s)})
+	}
+	ws.spans = out
+}
+
+// Terms tokenizes, filters and stems text, returning the surviving terms in
+// document order.
+func (p *Preprocessor) Terms(text string) []string {
+	ws := getWorkspace()
+	defer putWorkspace(ws)
+	ws.tokenize(text)
+	p.terms(ws)
+	if len(ws.spans) == 0 {
+		return nil
+	}
+	out := make([]string, len(ws.spans))
+	for i, sp := range ws.spans {
+		out[i] = string(ws.arena[sp.start:sp.end])
 	}
 	return out
 }
@@ -241,57 +338,145 @@ func (p *Preprocessor) Terms(text string) []string {
 // Vectorize converts text into a sparse feature vector, assigning new
 // lexicon ids as needed (or hashing, when HashDim is set) and updating
 // document-frequency statistics.
+//
+// This is the zero-allocation inference fast path: tokenization, filtering,
+// stemming and term counting all run on a pooled workspace, so the steady
+// state allocates only the returned vector (terms new to the lexicon add
+// O(1) amortized allocations for their interned strings). The result is
+// byte-identical to the historical map-and-sort implementation, which the
+// textproc tests pin against a reference copy of that code.
 func (p *Preprocessor) Vectorize(text string) *vector.Sparse {
-	return p.vectorizeTerms(p.Terms(text))
+	ws := getWorkspace()
+	defer putWorkspace(ws)
+	ws.tokenize(text)
+	p.terms(ws)
+	ws.ids = ws.ids[:0]
+	for _, sp := range ws.spans {
+		ws.ids = append(ws.ids, p.featureIDBytes(ws.arena[sp.start:sp.end]))
+	}
+	return p.finishVector(ws)
 }
 
-// vectorizeTerms is the serial tail of Vectorize: lexicon id assignment,
-// document-frequency bookkeeping, weighting and normalization.
+// vectorizeTerms is the serial tail of VectorizeBatch: lexicon id
+// assignment, document-frequency bookkeeping, weighting and normalization
+// over terms extracted elsewhere.
 func (p *Preprocessor) vectorizeTerms(terms []string) *vector.Sparse {
-	counts := make(map[int32]float64, len(terms))
+	ws := getWorkspace()
+	defer putWorkspace(ws)
+	ws.ids = ws.ids[:0]
 	for _, t := range terms {
-		counts[p.featureID(t)]++
+		ws.ids = append(ws.ids, p.featureID(t))
+	}
+	return p.finishVector(ws)
+}
+
+// finishVector turns the feature ids in ws.ids into the final sparse
+// vector: sort-then-accumulate term counts (replacing the historical
+// map[int32]float64 + FromMap sort — identical output, since duplicate ids
+// become exact integer counts either way and entries emerge in ascending
+// id order), document-frequency bookkeeping, weighting, normalization.
+// Only the returned vector's entry slice is freshly allocated.
+func (p *Preprocessor) finishVector(ws *workspace) *vector.Sparse {
+	slices.Sort(ws.ids)
+	ws.entries = ws.entries[:0]
+	for i := 0; i < len(ws.ids); {
+		j := i + 1
+		for j < len(ws.ids) && ws.ids[j] == ws.ids[i] {
+			j++
+		}
+		ws.entries = append(ws.entries, vector.Entry{Index: ws.ids[i], Value: float64(j - i)})
+		i = j
 	}
 
 	p.mu.Lock()
 	p.docCount++
-	for id := range counts {
-		p.docFreq[id]++
+	for _, e := range ws.entries {
+		p.docFreq[e.Index]++
 	}
 	docCount, weighting := p.docCount, p.opts.Weighting
-	var idf map[int32]float64
 	if weighting == TFIDF {
-		idf = make(map[int32]float64, len(counts))
-		for id := range counts {
-			idf[id] = math.Log(float64(1+docCount) / float64(1+p.docFreq[id]))
+		ws.idf = ws.idf[:0]
+		for _, e := range ws.entries {
+			ws.idf = append(ws.idf, math.Log(float64(1+docCount)/float64(1+p.docFreq[e.Index])))
 		}
 	}
 	p.mu.Unlock()
 
-	for id, tf := range counts {
-		switch weighting {
-		case LogTF:
-			counts[id] = 1 + math.Log(tf)
-		case TFIDF:
-			counts[id] = tf * idf[id]
+	switch weighting {
+	case LogTF:
+		for i := range ws.entries {
+			ws.entries[i].Value = 1 + math.Log(ws.entries[i].Value)
+		}
+	case TFIDF:
+		// An idf of 0 (term in every document) zeroes the weight; drop
+		// such entries exactly as FromMap dropped explicit zeros.
+		kept := ws.entries[:0]
+		for i := range ws.entries {
+			if v := ws.entries[i].Value * ws.idf[i]; v != 0 {
+				kept = append(kept, vector.Entry{Index: ws.entries[i].Index, Value: v})
+			}
+		}
+		ws.entries = kept
+	}
+
+	if p.opts.Normalize {
+		var sum float64
+		for _, e := range ws.entries {
+			sum += e.Value * e.Value
+		}
+		n := math.Sqrt(sum)
+		if n == 0 {
+			return vector.Zero()
+		}
+		inv := 1 / n
+		for i := range ws.entries {
+			ws.entries[i].Value *= inv
 		}
 	}
-	v := vector.FromMap(counts)
-	if p.opts.Normalize {
-		v = v.Normalize()
+	out := make([]vector.Entry, len(ws.entries))
+	copy(out, ws.entries)
+	v, err := vector.FromEntries(out)
+	if err != nil {
+		// Unreachable: ids are sorted and deduplicated above.
+		panic(fmt.Sprintf("textproc: internal vector invariant broken: %v", err))
 	}
 	return v
 }
+
+// FNV-1a constants, inlined so feature hashing allocates no hash.Hash32
+// per term. The stream must stay byte-compatible with hash/fnv's New32a,
+// which the tests pin.
+const (
+	fnvOffset32 = 2166136261
+	fnvPrime32  = 16777619
+)
 
 // featureID maps a term to its feature id: hashed when HashDim is set,
 // lexicon-assigned otherwise.
 func (p *Preprocessor) featureID(term string) int32 {
 	if p.opts.HashDim > 0 {
-		h := fnv.New32a()
-		h.Write([]byte(term))
-		return int32(h.Sum32() % uint32(p.opts.HashDim))
+		h := uint32(fnvOffset32)
+		for i := 0; i < len(term); i++ {
+			h ^= uint32(term[i])
+			h *= fnvPrime32
+		}
+		return int32(h % uint32(p.opts.HashDim))
 	}
 	return p.lexicon.ID(term)
+}
+
+// featureIDBytes is featureID for a term still living in workspace bytes;
+// it allocates only when a lexicon-mode term is new.
+func (p *Preprocessor) featureIDBytes(term []byte) int32 {
+	if p.opts.HashDim > 0 {
+		h := uint32(fnvOffset32)
+		for _, c := range term {
+			h ^= uint32(c)
+			h *= fnvPrime32
+		}
+		return int32(h % uint32(p.opts.HashDim))
+	}
+	return p.lexicon.IDBytes(term)
 }
 
 // VectorizeAll maps Vectorize over texts serially.

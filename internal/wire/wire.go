@@ -228,6 +228,7 @@ func ReadKernelModel(r io.Reader) (*svm.KernelModel, error) {
 		}
 		m.SVs = append(m.SVs, svm.SupportVector{X: x, Coeff: math.Float64frombits(bits)})
 	}
+	m.Precompute() // rebuild the derived RBF norm cache (not serialized)
 	return m, nil
 }
 

@@ -64,9 +64,10 @@ type ServerStats struct {
 	// Requests counts accepted submissions; Served counts completed ones
 	// (failures included); Errors counts requests answered with an error;
 	// Rejected counts fail-fast rejections; Deduped counts TagBatch rows
-	// answered by intra-batch deduplication (rows issued = Served +
-	// CacheHits + Deduped).
-	Requests, Served, Errors, Rejected, Deduped int64
+	// answered by intra-batch deduplication; Coalesced counts Tag calls
+	// answered by single-flight dedup of concurrent identical misses
+	// (rows issued = Served + CacheHits + Coalesced + Deduped).
+	Requests, Served, Errors, Rejected, Deduped, Coalesced int64
 	// Batches counts AutoTagBatch invocations, BatchedDocs sums their
 	// sizes; MeanBatchSize is their ratio and MaxBatchSeen the largest
 	// batch dispatched.
@@ -331,6 +332,7 @@ func (s *Server) Stats() ServerStats {
 		Errors:         st.Errors,
 		Rejected:       st.Rejected,
 		Deduped:        st.Deduped,
+		Coalesced:      st.Coalesced,
 		Batches:        st.Batches,
 		BatchedDocs:    st.BatchedDocs,
 		MeanBatchSize:  st.MeanBatchSize,

@@ -120,8 +120,13 @@ func TestServerMatchesSerialUnderLoad(t *testing.T) {
 
 	st := srv.Stats()
 	total := int64(clients * len(queries))
-	if st.Requests != total || st.Served != total {
-		t.Errorf("requests %d served %d, want %d", st.Requests, st.Served, total)
+	// Identical texts in flight coalesce (single-flight dedup), so the
+	// books balance as issued = Requests + Coalesced = Served + Coalesced.
+	if st.Requests+st.Coalesced != total || st.Served+st.Coalesced != total {
+		t.Errorf("requests %d served %d coalesced %d, want %d issued", st.Requests, st.Served, st.Coalesced, total)
+	}
+	if st.Coalesced == 0 {
+		t.Errorf("no coalesced requests with %d clients cycling %d texts", clients, len(queries))
 	}
 	if st.MeanBatchSize <= 1 {
 		t.Errorf("mean batch size %.2f, want > 1 under %d concurrent clients", st.MeanBatchSize, clients)
@@ -188,8 +193,8 @@ func TestServerCacheMatchesSerial(t *testing.T) {
 	}
 	st := srv.Stats()
 	total := int64(clients * perClient)
-	if st.Served+st.CacheHits != total {
-		t.Errorf("served %d + hits %d != %d issued: requests lost", st.Served, st.CacheHits, total)
+	if st.Served+st.CacheHits+st.Coalesced != total {
+		t.Errorf("served %d + hits %d + coalesced %d != %d issued: requests lost", st.Served, st.CacheHits, st.Coalesced, total)
 	}
 	if st.CacheHits == 0 {
 		t.Errorf("no cache hits replaying %d queries %d times: %+v", len(queries), total, st)
@@ -308,8 +313,8 @@ func TestServerRefreshUnderLoad(t *testing.T) {
 	if st.Errors != 0 {
 		t.Errorf("errors = %d across Refresh", st.Errors)
 	}
-	if st.Served+st.CacheHits != issued.Load() {
-		t.Errorf("served %d + hits %d != %d issued", st.Served, st.CacheHits, issued.Load())
+	if st.Served+st.CacheHits+st.Coalesced != issued.Load() {
+		t.Errorf("served %d + hits %d + coalesced %d != %d issued", st.Served, st.CacheHits, st.Coalesced, issued.Load())
 	}
 }
 
