@@ -78,10 +78,10 @@ func main() {
 		learned += n
 	}
 	if learned > 0 {
-		if reached, err := node.Publish(); err != nil {
+		if sum, err := node.Publish(); err != nil {
 			log.Printf("publish: %v", err)
 		} else {
-			fmt.Printf("published models to %d peers\n", reached)
+			printPublish(sum)
 		}
 	}
 
@@ -102,10 +102,10 @@ func main() {
 			}
 			fmt.Printf("  (%d model sets known)\n", node.ModelsKnown())
 		case "publish":
-			if reached, err := node.Publish(); err != nil {
+			if sum, err := node.Publish(); err != nil {
 				fmt.Println("error:", err)
 			} else {
-				fmt.Printf("published to %d peers\n", reached)
+				printPublish(sum)
 			}
 		case "suggest", "auto":
 			if len(fields) != 2 {
@@ -146,6 +146,15 @@ func main() {
 
 // learnDir feeds every .txt file under dir to the node as an example of
 // tag.
+// printPublish reports a broadcast's outcome, per-peer failures included —
+// a partial broadcast failure must be visible, not silent.
+func printPublish(sum realnet.PublishSummary) {
+	fmt.Printf("published models to %d peers\n", sum.Reached)
+	for peer, err := range sum.Failed {
+		fmt.Printf("  failed %s: %v\n", peer, err)
+	}
+}
+
 func learnDir(node *realnet.Node, tag, dir string) (int, error) {
 	n := 0
 	err := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {

@@ -14,9 +14,18 @@
 //	                    1024-document per-request cap; on partial failure
 //	                    unanswerable rows are null — retry exactly those)
 //	POST /v1/refresh    retrain and swap in a new tagger generation, live
-//	GET  /v1/stats      serving counters, cache counters, swarm traffic
+//	POST /v1/publish    cluster mode: train a model generation, install it,
+//	                    and gossip it to every mesh peer (see cluster.go)
+//	GET  /v1/stats      serving counters, cache counters, swarm traffic;
+//	                    in cluster mode also the mesh transport counters
+//	                    and the installed gossiped generation
 //	GET  /healthz       liveness probe (ok for the process lifetime)
 //	GET  /readyz        readiness probe (503 once draining begins)
+//
+// With -mesh the process additionally joins a realnet cluster (-mesh-join
+// lists existing members) and installs model generations gossiped by its
+// peers through the same live-swap path — see cluster.go and the
+// "Distributed serving cluster" section of the package documentation.
 //
 // /v1/refresh rebuilds the pool with the same deterministic build the
 // process started with and atomically swaps it into the live dispatcher:
@@ -62,6 +71,7 @@ import (
 	"time"
 
 	doctagger "repro"
+	"repro/internal/realnet"
 )
 
 type options struct {
@@ -80,11 +90,17 @@ type options struct {
 	failFast  bool
 	cache     int
 
-	loadgen  bool
-	clients  string
-	requests int
-	repeat   float64
-	jsonPath string
+	mesh     string
+	meshJoin string
+	maxTags  int
+
+	loadgen        bool
+	loadgenCluster bool
+	clusterNodes   int
+	clients        string
+	requests       int
+	repeat         float64
+	jsonPath       string
 }
 
 func main() {
@@ -105,7 +121,12 @@ func main() {
 	flag.IntVar(&o.maxQueue, "max-queue", 0, "submission queue bound (0 = 8*max-batch)")
 	flag.BoolVar(&o.failFast, "fail-fast", false, "reject with 503 when the queue is full instead of blocking")
 	flag.IntVar(&o.cache, "cache", 1024, "request-level result cache entries (0 disables)")
+	flag.StringVar(&o.mesh, "mesh", "", "realnet mesh listen address; empty = standalone (no gossip)")
+	flag.StringVar(&o.meshJoin, "mesh-join", "", "comma-separated mesh addresses of existing cluster nodes")
+	flag.IntVar(&o.maxTags, "max-tags", 4, "tag cap for gossiped-generation answers (0 = unlimited)")
 	flag.BoolVar(&o.loadgen, "loadgen", false, "run the in-process load generator instead of serving HTTP")
+	flag.BoolVar(&o.loadgenCluster, "loadgen-cluster", false, "run the in-process cluster load generator (gossip + chaos) instead of serving HTTP")
+	flag.IntVar(&o.clusterNodes, "cluster-nodes", 3, "cluster loadgen: number of in-process cluster nodes")
 	flag.StringVar(&o.clients, "clients", "1,8,64", "loadgen: comma-separated concurrency levels")
 	flag.IntVar(&o.requests, "requests", 256, "loadgen: requests per concurrency level")
 	flag.Float64Var(&o.repeat, "repeat", 0.9, "loadgen: fraction of requests drawn from a hot query set")
@@ -121,9 +142,12 @@ func run(o options) error {
 	if o.repeat < 0 || o.repeat > 1 {
 		return fmt.Errorf("-repeat %v outside [0,1]", o.repeat)
 	}
-	build, queries, err := makeBuild(o)
+	build, queries, trainTexts, err := makeBuild(o)
 	if err != nil {
 		return err
+	}
+	if o.loadgenCluster {
+		return runClusterLoadgen(o, build, queries, trainTexts)
 	}
 	if o.loadgen {
 		return runLoadgen(o, build, queries)
@@ -138,13 +162,24 @@ func run(o options) error {
 		return err
 	}
 	log.Printf("pool ready in %v", time.Since(start).Round(time.Millisecond))
-	return serveHTTP(&app{pool: pool, build: build}, o)
+	a := &app{pool: pool, build: build, o: o, trainTexts: trainTexts}
+	if o.mesh != "" {
+		if err := a.startMesh(meshConfig(o)); err != nil {
+			pool.Close()
+			return err
+		}
+		log.Printf("mesh node listening on %s", a.mesh.Addr())
+	}
+	return serveHTTP(a, o)
 }
 
 // makeBuild generates the synthetic corpus and returns the deterministic
-// per-shard tagger builder over its training split, plus the test split's
-// texts for load generation.
-func makeBuild(o options) (func(int) (*doctagger.Tagger, error), []string, error) {
+// per-shard tagger builder over its training split, the test split's texts
+// for load generation, and the training split as labeled texts — the input
+// cluster nodes train gossiped model generations from. Training from the
+// same (corpus, seed) on any node yields byte-identical generations, which
+// is what lets the cluster verify answers against a serial reference.
+func makeBuild(o options) (func(int) (*doctagger.Tagger, error), []string, []realnet.TaggedText, error) {
 	docs, _, err := doctagger.GenerateCorpus(doctagger.CorpusConfig{
 		Users:          o.peers,
 		DocsPerUserMin: o.docsMin,
@@ -153,7 +188,7 @@ func makeBuild(o options) (func(int) (*doctagger.Tagger, error), []string, error
 		Seed:           o.seed,
 	})
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	train, test := doctagger.SplitCorpus(docs, 0.5, o.seed)
 	// On the flag, 0 literally means "accept every tag"; translate to the
@@ -183,7 +218,11 @@ func makeBuild(o options) (func(int) (*doctagger.Tagger, error), []string, error
 	for _, d := range test {
 		queries = append(queries, d.Text)
 	}
-	return build, queries, nil
+	trainTexts := make([]realnet.TaggedText, 0, len(train))
+	for _, d := range train {
+		trainTexts = append(trainTexts, realnet.TaggedText{Text: d.Text, Tags: d.Tags})
+	}
+	return build, queries, trainTexts, nil
 }
 
 // serverConfig maps the flags onto a pool configuration. cacheSize is
@@ -216,16 +255,25 @@ const (
 )
 
 // app is the HTTP-facing state: the live pool, the deterministic builder
-// /v1/refresh retrains with, and the readiness flag the drain sequence
-// flips before the listener stops accepting.
+// /v1/refresh retrains with, the optional realnet mesh node (cluster
+// mode), and the readiness flag the drain sequence flips before the
+// listener stops accepting.
 type app struct {
 	pool     *doctagger.Server
 	build    func(int) (*doctagger.Tagger, error)
+	o        options
 	draining atomic.Bool
 	// refreshing rejects refresh requests that arrive while one is
 	// already retraining — a retrain burns seconds of CPU, so queueing
 	// a burst of them would starve query serving for no benefit.
 	refreshing atomic.Bool
+
+	// Cluster state; mesh is nil in standalone mode. trainTexts is the
+	// labeled training split /v1/publish trains gossiped generations from.
+	mesh       *realnet.Node
+	trainTexts []realnet.TaggedText
+	genMu      sync.Mutex          // serializes generation installs in arrival order
+	lastGen    *realnet.Generation // newest generation installed into the pool
 }
 
 // mux wires the HTTP API around the app.
@@ -330,8 +378,11 @@ func (a *app) mux() *http.ServeMux {
 		})
 	})
 	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, a.pool.Stats())
+		writeJSON(w, http.StatusOK, a.statsPayload())
 	})
+	if a.mesh != nil {
+		mux.HandleFunc("POST /v1/publish", a.handlePublish)
+	}
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
@@ -397,6 +448,7 @@ func serveHTTP(a *app, o options) error {
 	select {
 	case err := <-errc:
 		a.draining.Store(true)
+		a.closeMesh()
 		a.pool.Close()
 		return err
 	case <-ctx.Done():
@@ -406,8 +458,10 @@ func serveHTTP(a *app, o options) error {
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 	shutdownErr := srv.Shutdown(shutdownCtx)
-	// Close the pool whether or not the HTTP shutdown timed out: accepted
-	// requests are still drained and answered either way.
+	// Close the mesh first — no more gossiped generations arrive once
+	// draining began — then the pool, whether or not the HTTP shutdown
+	// timed out: accepted requests are still drained and answered.
+	a.closeMesh()
 	a.pool.Close()
 	if shutdownErr != nil {
 		return fmt.Errorf("http shutdown: %w", shutdownErr)
@@ -577,8 +631,11 @@ func runLevel(pool *doctagger.Server, mix queryMix, clients, requests int) loadg
 	elapsed := time.Since(start)
 	after := pool.Stats()
 	run := loadgenRun{
-		Clients:   clients,
-		Requests:  (after.Served - before.Served) + (after.CacheHits - before.CacheHits) + (after.Coalesced - before.Coalesced),
+		Clients: clients,
+		// The Issued delta counts every answer row however produced
+		// (served, cache hit, coalesced, deduped) — the same accounting
+		// identity cluster clients verify per node.
+		Requests:  after.Issued - before.Issued,
 		Errors:    after.Errors - before.Errors,
 		Seconds:   elapsed.Seconds(),
 		Batches:   after.Batches - before.Batches,

@@ -32,7 +32,7 @@ func testOptions() options {
 func newTestApp(t *testing.T) (*httptest.Server, *app, []string) {
 	t.Helper()
 	o := testOptions()
-	build, queries, err := makeBuild(o)
+	build, queries, _, err := makeBuild(o)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -40,7 +40,7 @@ func newTestApp(t *testing.T) (*httptest.Server, *app, []string) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	a := &app{pool: pool, build: build}
+	a := &app{pool: pool, build: build, o: o}
 	ts := httptest.NewServer(a.mux())
 	t.Cleanup(func() {
 		ts.Close()
@@ -286,7 +286,7 @@ func TestLoadgenWritesJSON(t *testing.T) {
 	o.requests = 64
 	o.cache = 256
 	o.jsonPath = t.TempDir() + "/bench.json"
-	build, queries, err := makeBuild(o)
+	build, queries, _, err := makeBuild(o)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -125,6 +125,41 @@
 //     (ServerStats.Coalesced counts them). Same soundness argument as the
 //     cache, same generation purity: Swap discards the in-flight table.
 //
+// # Distributed serving cluster
+//
+// Serving is not tied to Taggers: Engine is the minimal contract the
+// dispatcher needs (AutoTagBatch over texts), NewEngineServer fronts any
+// engines with the same micro-batching/caching/backpressure machinery,
+// and Server.SwapEngines live-swaps a generation of them in — the same
+// drain/flush discipline as Swap, usable in either direction between
+// tagger-backed and generic generations. ServerStats.Issued exposes the
+// serving accounting identity (Issued = Served + CacheHits + Coalesced +
+// Deduped), the invariant cluster tests check per node.
+//
+// internal/realnet composes with this into a distributed serving cluster:
+// real TCP peers gossip whole model generations (wire-encoded calibrated
+// model sets, flooded with (sequence, origin) dedup and periodic
+// anti-entropy rebroadcast by the origin), and every node installs an
+// arriving generation through SwapEngines as a realnet.Ensemble — an
+// accuracy-weighted vote over the gossiped per-tag models, deterministic
+// in (corpus, seed), so every node answers byte-identically. The realnet
+// transport is hardened for that role: per-peer retry budgets with
+// seed-derived exponential backoff, dead-peer quarantine with re-probe,
+// per-frame read deadlines, frame corruption and sender-address
+// validation, bounded peer tables, and per-peer counters (sends, retries,
+// failures, frames and bytes in/out) surfaced through Node.Transport().
+// Publish and PublishGeneration report per-peer partial failure instead
+// of a single error.
+//
+// cmd/p2pserve ties it together ("-mesh", "-mesh-join"): N processes form
+// a mesh, POST /v1/publish trains and floods a generation cluster-wide,
+// GET /v1/stats adds the transport counters and installed generation, and
+// the cluster chaos test (cmd/p2pserve/cluster_test.go) pins the
+// acceptance story — a node killed and restarted and a partition healed
+// while every query keeps answering byte-identically to a serial
+// reference with zero dropped requests. "-loadgen-cluster" benchmarks the
+// composition in-process and writes BENCH_cluster.json.
+//
 // # Inference fast path
 //
 // Every cache miss runs the zero-allocation inference fast path:

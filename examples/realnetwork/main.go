@@ -87,11 +87,14 @@ func main() {
 		return len(a.Peers()) >= 2 && len(b.Peers()) >= 2 && len(c.Peers()) >= 2
 	}, "membership")
 	for name, n := range map[string]*realnet.Node{"A": a, "B": b, "C": c} {
-		reached, err := n.Publish()
+		sum, err := n.Publish()
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("%s published models to %d peers\n", name, reached)
+		fmt.Printf("%s published models to %d peers\n", name, sum.Reached)
+		for peer, err := range sum.Failed {
+			fmt.Printf("  failed to reach %s: %v\n", peer, err)
+		}
 	}
 	waitUntil(func() bool {
 		return a.ModelsKnown() >= 2 && b.ModelsKnown() >= 2 && c.ModelsKnown() >= 2

@@ -1,0 +1,83 @@
+package realnet
+
+import (
+	"errors"
+
+	"repro/internal/metrics"
+	"repro/internal/protocol"
+	"repro/internal/textproc"
+)
+
+// Ensemble scores documents against one or more model sets with the same
+// accuracy-weighted log-odds vote Node.Suggest uses, packaged as a batch
+// classification engine for internal/serving: AutoTagBatch answers one
+// tag list per input text in input order. This is how a gossiped model
+// generation becomes a serving shard — the cmd/p2pserve cluster installs
+// one Ensemble per shard, all over the same immutable sets, through the
+// serving Swap path.
+//
+// An Ensemble is NOT safe for concurrent use (it reuses per-instance
+// scratch); this matches the serving Engine contract, where each shard is
+// driven by exactly one goroutine. Build one Ensemble per shard; the
+// underlying sets may be shared, they are read-only after construction.
+type Ensemble struct {
+	pre       *textproc.Preprocessor
+	sets      []*ModelSet
+	threshold float64
+	maxTags   int
+	dec       []float64 // fused-score scratch, reused across documents
+}
+
+// NewEnsemble builds an engine over sets, assigning every tag scoring at
+// or above threshold (falling back to the single best; 0 accepts every
+// tag) and capping answers at maxTags (0 = unlimited). The sets must not
+// be mutated afterwards.
+func NewEnsemble(threshold float64, maxTags int, sets ...*ModelSet) (*Ensemble, error) {
+	if len(sets) == 0 {
+		return nil, errors.New("realnet: an ensemble needs at least one model set")
+	}
+	for _, ms := range sets {
+		if ms == nil || ms.ensureFused() == nil {
+			return nil, errors.New("realnet: ensemble over an empty model set")
+		}
+	}
+	if threshold < 0 || threshold > 1 {
+		return nil, errors.New("realnet: ensemble threshold outside [0,1]")
+	}
+	if maxTags < 0 {
+		return nil, errors.New("realnet: negative ensemble maxTags")
+	}
+	return &Ensemble{
+		pre:       newHashedPreprocessor(),
+		sets:      sets,
+		threshold: threshold,
+		maxTags:   maxTags,
+	}, nil
+}
+
+// Suggest returns the full suggestion cloud for one document, sorted by
+// descending score with name tie-breaks.
+func (e *Ensemble) Suggest(text string) []metrics.ScoredTag {
+	x := e.pre.Vectorize(text)
+	var out []metrics.ScoredTag
+	out, e.dec = suggestFromSets(x, e.sets, e.dec)
+	return out
+}
+
+// AutoTagBatch implements the serving engine contract: one non-nil tag
+// list per input text, in input order. Every row is answerable (the sets
+// are fixed at construction), so the error is always nil.
+func (e *Ensemble) AutoTagBatch(texts []string) ([][]string, error) {
+	out := make([][]string, len(texts))
+	for i, text := range texts {
+		x := e.pre.Vectorize(text)
+		var scores []metrics.ScoredTag
+		scores, e.dec = suggestFromSets(x, e.sets, e.dec)
+		tags := protocol.SelectTags(scores, e.threshold, e.maxTags)
+		if tags == nil {
+			tags = []string{}
+		}
+		out[i] = tags
+	}
+	return out, nil
+}

@@ -9,6 +9,29 @@
 // broadcasts them with Publish, and answers tag queries locally from the
 // ensemble of every model set it has received — so queries keep working
 // when every other peer is gone, exactly like the simulated protocol.
+//
+// The node is built to survive real conditions, not just loopback demos:
+//
+//   - Every send goes through a retry/timeout/backoff transport — a
+//     per-peer dial budget, exponential backoff with jitter derived from
+//     runner.DeriveSeed (so tests of the retry schedule are
+//     deterministic), and dead-peer quarantine with periodic re-probe.
+//     Per-peer counters (sends, retries, failures, frames and bytes in
+//     and out) are exposed through Transport.
+//   - Read deadlines are refreshed per frame, so a long-lived connection
+//     stays alive as long as frames keep arriving.
+//   - Self-reported peer addresses are validated and the peer/model
+//     tables are capped, so a malicious frame cannot pollute membership
+//     or grow state without bound.
+//   - Dials never run on a connection-reader goroutine: introductions and
+//     gossip relays go through a bounded background task pool, so one
+//     unreachable peer cannot stall frame processing.
+//
+// Beyond peer-trained model sets, nodes gossip whole model generations
+// (see Generation and PublishGeneration): an application such as the
+// cmd/p2pserve cluster publishes a generation on one node and every
+// reachable node — including peers that were dead or partitioned and come
+// back — converges on it, installing it through its serving front-end.
 package realnet
 
 import (
@@ -27,6 +50,7 @@ import (
 	"repro/internal/protocol"
 	"repro/internal/svm"
 	"repro/internal/textproc"
+	"repro/internal/vector"
 	"repro/internal/wire"
 )
 
@@ -34,13 +58,18 @@ import (
 // [type byte][length uint32][payload].
 const (
 	frameHello  = 1 // payload: sender listen addr + known peer addrs
-	frameModels = 2 // payload: a model set
+	frameModels = 2 // payload: sender listen addr + a model set
+	frameGen    = 3 // payload: a gossiped model generation (seq, origin, set)
 )
 
 // maxFrame bounds a frame payload (corrupt peers must not OOM us).
 const maxFrame = 64 << 20
 
-// Config configures a Node.
+// DialFunc dials a peer; tests inject failing dialers to simulate
+// partitions and unreachable peers without real network faults.
+type DialFunc func(addr string, timeout time.Duration) (net.Conn, error)
+
+// Config configures a Node. Zero values take the documented defaults.
 type Config struct {
 	// ListenAddr is the TCP address to listen on ("127.0.0.1:0" picks a
 	// free port).
@@ -49,20 +78,209 @@ type Config struct {
 	Seeds []string
 	// C is the linear SVM penalty; default 1.
 	C float64
-	// Seed drives training.
+	// Seed drives training and the deterministic backoff jitter streams.
 	Seed int64
+
+	// DialTimeout bounds one dial attempt; default 5s.
+	DialTimeout time.Duration
+	// WriteTimeout bounds writing one frame after a successful dial;
+	// default 10s.
+	WriteTimeout time.Duration
+	// FrameTimeout is the per-frame read deadline on accepted
+	// connections, refreshed before every frame: a connection dies only
+	// after this long with no complete frame, never merely for being
+	// long-lived. Default 30s.
+	FrameTimeout time.Duration
+	// MaxAttempts is the per-send dial budget (first try included);
+	// default 3.
+	MaxAttempts int
+	// BackoffBase is the delay before the first retry; attempt k waits
+	// BackoffBase<<(k-1) plus jitter, capped at BackoffMax. Defaults
+	// 25ms and 1s.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// QuarantineAfter is the number of consecutive failed sends after
+	// which a peer is quarantined (sends fail fast instead of dialing);
+	// default 3. QuarantineFor is how long a quarantine lasts before the
+	// next send re-probes the peer; default 5s.
+	QuarantineAfter int
+	QuarantineFor   time.Duration
+	// GossipInterval is the period of the background gossip loop: a node
+	// that originated the current model generation rebroadcasts it every
+	// interval, which is also what re-probes quarantined peers once their
+	// quarantine expires. Default 2s.
+	GossipInterval time.Duration
+	// MaxPeers caps the membership and model tables against floods of
+	// invented self-reported addresses; default 256.
+	MaxPeers int
+
+	// Dial overrides the dialer; default net.DialTimeout on "tcp".
+	Dial DialFunc
+	// OnGeneration, when set, is invoked for every accepted gossiped
+	// model generation (newer than any seen before). It runs on the
+	// background task pool, never on a connection-reader goroutine, and
+	// must not call Close.
+	OnGeneration func(gen Generation)
 }
 
-// modelSet is what a node publishes: per-tag calibrated models with
-// cross-validated accuracies. fused is the bank packed into one inverted
-// score matrix (derived, read-only, not serialized): Suggest scores all
-// of a set's tags in one pass over the document instead of one dot
-// product per tag.
-type modelSet struct {
-	models   map[string]*svm.LinearModel
-	platt    map[string]svm.PlattParams
-	accuracy map[string]float64
+func (cfg *Config) defaults() {
+	if cfg.ListenAddr == "" {
+		cfg.ListenAddr = "127.0.0.1:0"
+	}
+	if cfg.C == 0 {
+		cfg.C = 1
+	}
+	if cfg.DialTimeout == 0 {
+		cfg.DialTimeout = 5 * time.Second
+	}
+	if cfg.WriteTimeout == 0 {
+		cfg.WriteTimeout = 10 * time.Second
+	}
+	if cfg.FrameTimeout == 0 {
+		cfg.FrameTimeout = 30 * time.Second
+	}
+	if cfg.MaxAttempts == 0 {
+		cfg.MaxAttempts = 3
+	}
+	if cfg.BackoffBase == 0 {
+		cfg.BackoffBase = 25 * time.Millisecond
+	}
+	if cfg.BackoffMax == 0 {
+		cfg.BackoffMax = time.Second
+	}
+	if cfg.QuarantineAfter == 0 {
+		cfg.QuarantineAfter = 3
+	}
+	if cfg.QuarantineFor == 0 {
+		cfg.QuarantineFor = 5 * time.Second
+	}
+	if cfg.GossipInterval == 0 {
+		cfg.GossipInterval = 2 * time.Second
+	}
+	if cfg.MaxPeers == 0 {
+		cfg.MaxPeers = 256
+	}
+	if cfg.Dial == nil {
+		cfg.Dial = func(addr string, timeout time.Duration) (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, timeout)
+		}
+	}
+}
+
+// newHashedPreprocessor is the canonical feature space every realnet peer
+// shares: hashed term-frequency features need no coordinated lexicon, so
+// independently running peers agree on what every weight index means.
+func newHashedPreprocessor() *textproc.Preprocessor {
+	return textproc.NewPreprocessor(nil, textproc.Options{
+		Weighting: textproc.TermFrequency, Normalize: true,
+		HashDim: 1 << 16,
+	})
+}
+
+// ModelSet is what a node publishes: per-tag calibrated linear models with
+// cross-validated accuracies. The fused score matrix is derived lazily
+// (read-only once built, never serialized): Suggest scores all of a set's
+// tags in one pass over the document instead of one dot product per tag.
+// A ModelSet is immutable once published and must be handled by pointer.
+type ModelSet struct {
+	Models   map[string]*svm.LinearModel
+	Platt    map[string]svm.PlattParams
+	Accuracy map[string]float64
+
+	fuseOnce sync.Once
 	fused    *svm.FusedLinear
+}
+
+// ensureFused builds the fused score matrix on first use; safe for
+// concurrent callers, after which the matrix is shared read-only.
+func (ms *ModelSet) ensureFused() *svm.FusedLinear {
+	ms.fuseOnce.Do(func() {
+		if ms.fused == nil {
+			ms.fused = svm.NewFusedLinear(ms.Models)
+		}
+	})
+	return ms.fused
+}
+
+// toWire converts the set to the wire bank encoding.
+func (ms *ModelSet) toWire() map[string]wire.CalibratedModel {
+	out := make(map[string]wire.CalibratedModel, len(ms.Models))
+	for tag, m := range ms.Models {
+		out[tag] = wire.CalibratedModel{Model: m, Platt: ms.Platt[tag], Accuracy: ms.Accuracy[tag]}
+	}
+	return out
+}
+
+// modelSetFromWire rebuilds a set from its wire bank encoding.
+func modelSetFromWire(set map[string]wire.CalibratedModel) *ModelSet {
+	ms := &ModelSet{
+		Models:   make(map[string]*svm.LinearModel, len(set)),
+		Platt:    make(map[string]svm.PlattParams, len(set)),
+		Accuracy: make(map[string]float64, len(set)),
+	}
+	for tag, cm := range set {
+		ms.Models[tag] = cm.Model
+		ms.Platt[tag] = cm.Platt
+		ms.Accuracy[tag] = cm.Accuracy
+	}
+	ms.ensureFused()
+	return ms
+}
+
+// TaggedText is one labeled training document for TrainModelSet.
+type TaggedText struct {
+	Text string
+	Tags []string
+}
+
+// TrainModelSet trains the per-tag calibrated linear bank realnet peers
+// publish, from labeled documents, in the canonical hashed feature space
+// every peer shares. The result is deterministic in (docs, c, seed):
+// independently training nodes with identical inputs produce identical
+// sets, which is what lets a cluster verify byte-identical answers.
+func TrainModelSet(docs []TaggedText, c float64, seed int64) (*ModelSet, error) {
+	if c == 0 {
+		c = 1
+	}
+	pre := newHashedPreprocessor()
+	pdocs := make([]protocol.Doc, 0, len(docs))
+	for _, d := range docs {
+		if len(d.Tags) == 0 {
+			continue
+		}
+		pdocs = append(pdocs, protocol.Doc{X: pre.Vectorize(d.Text), Tags: d.Tags})
+	}
+	return trainSet(pdocs, c, seed)
+}
+
+// trainSet trains one calibrated model per tag of the documents' universe,
+// skipping tags whose training fails (e.g. one-class).
+func trainSet(docs []protocol.Doc, c float64, seed int64) (*ModelSet, error) {
+	if len(docs) == 0 {
+		return nil, errors.New("realnet: no tagged documents to learn from")
+	}
+	ms := &ModelSet{
+		Models:   make(map[string]*svm.LinearModel),
+		Platt:    make(map[string]svm.PlattParams),
+		Accuracy: make(map[string]float64),
+	}
+	for _, tag := range protocol.TagUniverse(docs) {
+		exs := protocol.BinaryExamples(docs, tag)
+		m, err := svm.TrainLinear(exs, svm.LinearOptions{C: c, Seed: seed})
+		if err != nil {
+			continue
+		}
+		m = m.Pruned(0.02)
+		platt, acc := svm.CalibrateLinearCV(exs, svm.LinearOptions{C: c, Seed: seed}, m, 3)
+		ms.Models[tag] = m
+		ms.Platt[tag] = platt
+		ms.Accuracy[tag] = acc
+	}
+	if len(ms.Models) == 0 {
+		return nil, errors.New("realnet: local documents are one-class; tag more variety first")
+	}
+	ms.ensureFused()
+	return ms, nil
 }
 
 // Node is one real-network tagging peer. All exported methods are safe for
@@ -71,58 +289,85 @@ type Node struct {
 	cfg Config
 	pre *textproc.Preprocessor
 	ln  net.Listener
+	tr  *transport
 
-	mu     sync.Mutex
-	docs   []protocol.Doc
-	peers  map[string]bool // known peer listen addresses
-	remote map[string]*modelSet
-	own    *modelSet
+	mu         sync.Mutex
+	docs       []protocol.Doc
+	peers      map[string]bool // known peer listen addresses
+	remote     map[string]*ModelSet
+	own        *ModelSet
+	cur        *Generation // newest gossiped generation seen or published
+	curPayload []byte      // cur's encoded frame, for relays and rebroadcast
+	conns      map[net.Conn]bool
 
-	wg sync.WaitGroup
+	tasks     chan func()
+	stop      chan struct{}
+	closeOnce sync.Once
+	wg        sync.WaitGroup
 }
+
+// taskWorkers bounds concurrent background dials (introductions, relays,
+// rebroadcasts); taskQueue bounds how many wait. A saturated queue drops
+// work — gossip is periodic and hellos re-trigger on later frames, so a
+// drop costs convergence time, never correctness.
+const (
+	taskWorkers = 2
+	taskQueue   = 256
+)
 
 // Start launches a node: it listens, joins through the seeds and begins
 // accepting model broadcasts.
 func Start(cfg Config) (*Node, error) {
-	if cfg.ListenAddr == "" {
-		cfg.ListenAddr = "127.0.0.1:0"
-	}
-	if cfg.C == 0 {
-		cfg.C = 1
-	}
+	cfg.defaults()
 	ln, err := net.Listen("tcp", cfg.ListenAddr)
 	if err != nil {
 		return nil, fmt.Errorf("realnet: listen: %w", err)
 	}
 	n := &Node{
-		cfg: cfg,
-		// Hashed feature ids: independently running peers must agree on
-		// what every weight index means without coordinating a lexicon.
-		pre: textproc.NewPreprocessor(nil, textproc.Options{
-			Weighting: textproc.TermFrequency, Normalize: true,
-			HashDim: 1 << 16,
-		}),
+		cfg:    cfg,
+		pre:    newHashedPreprocessor(),
 		ln:     ln,
 		peers:  make(map[string]bool),
-		remote: make(map[string]*modelSet),
+		remote: make(map[string]*ModelSet),
+		conns:  make(map[net.Conn]bool),
+		tasks:  make(chan func(), taskQueue),
+		stop:   make(chan struct{}),
 	}
+	n.tr = newTransport(cfg, n.stop)
 	n.wg.Add(1)
 	go n.acceptLoop()
+	for i := 0; i < taskWorkers; i++ {
+		n.wg.Add(1)
+		go n.taskLoop()
+	}
+	n.wg.Add(1)
+	go n.gossipLoop()
 	for _, s := range cfg.Seeds {
 		n.addPeer(s)
 	}
-	// Announce ourselves to the seeds so they learn our address.
-	n.broadcastHello()
+	// Announce ourselves to the seeds so they learn our address; off the
+	// caller's goroutine, since a dead seed costs a full retry budget.
+	n.async(func() { n.broadcastHello() })
 	return n, nil
 }
 
 // Addr returns the node's actual listen address.
 func (n *Node) Addr() string { return n.ln.Addr().String() }
 
-// Close stops the listener and waits for in-flight handlers to drain.
+// Close stops the listener, interrupts in-flight backoff sleeps, closes
+// accepted connections and waits for every node goroutine to exit.
 func (n *Node) Close() error {
-	err := n.ln.Close()
-	n.wg.Wait()
+	var err error
+	n.closeOnce.Do(func() {
+		close(n.stop)
+		err = n.ln.Close()
+		n.mu.Lock()
+		for c := range n.conns {
+			_ = c.Close()
+		}
+		n.mu.Unlock()
+		n.wg.Wait()
+	})
 	return err
 }
 
@@ -158,51 +403,55 @@ func (n *Node) AddDocument(text string, tags ...string) error {
 	return nil
 }
 
+// PublishSummary reports a broadcast's outcome: how many peers were
+// reached, and the final error for each peer that was not (after the full
+// retry budget, or immediately for quarantined peers). A partial failure
+// is visible here and in the Transport counters, never silent.
+type PublishSummary struct {
+	Reached int
+	Failed  map[string]error
+}
+
+// AllReached reports whether every known peer accepted the broadcast.
+func (s PublishSummary) AllReached() bool { return len(s.Failed) == 0 }
+
 // Publish trains the local per-tag models and broadcasts them to every
-// known peer. It returns the number of peers reached.
-func (n *Node) Publish() (int, error) {
+// known peer, retrying per the transport budget. The summary reports the
+// outcome per peer; err is non-nil only when nothing could be trained.
+func (n *Node) Publish() (PublishSummary, error) {
 	n.mu.Lock()
 	docs := append([]protocol.Doc(nil), n.docs...)
 	n.mu.Unlock()
-	if len(docs) == 0 {
-		return 0, errors.New("realnet: no tagged documents to learn from")
+	ms, err := trainSet(docs, n.cfg.C, n.cfg.Seed)
+	if err != nil {
+		return PublishSummary{}, err
 	}
-	ms := &modelSet{
-		models:   make(map[string]*svm.LinearModel),
-		platt:    make(map[string]svm.PlattParams),
-		accuracy: make(map[string]float64),
-	}
-	for _, tag := range protocol.TagUniverse(docs) {
-		exs := protocol.BinaryExamples(docs, tag)
-		m, err := svm.TrainLinear(exs, svm.LinearOptions{C: n.cfg.C, Seed: n.cfg.Seed})
-		if err != nil {
-			continue
-		}
-		m = m.Pruned(0.02)
-		platt, acc := svm.CalibrateLinearCV(exs, svm.LinearOptions{C: n.cfg.C, Seed: n.cfg.Seed}, m, 3)
-		ms.models[tag] = m
-		ms.platt[tag] = platt
-		ms.accuracy[tag] = acc
-	}
-	if len(ms.models) == 0 {
-		return 0, errors.New("realnet: local documents are one-class; tag more variety first")
-	}
-	ms.fused = svm.NewFusedLinear(ms.models)
 	n.mu.Lock()
 	n.own = ms
 	n.mu.Unlock()
 
 	payload, err := encodeModelSet(n.Addr(), ms)
 	if err != nil {
-		return 0, err
+		return PublishSummary{}, err
 	}
-	reached := 0
+	return n.broadcast(frameModels, payload), nil
+}
+
+// broadcast sends one frame to every known peer through the retrying
+// transport and reports the per-peer outcome.
+func (n *Node) broadcast(typ byte, payload []byte) PublishSummary {
+	var sum PublishSummary
 	for _, p := range n.Peers() {
-		if n.sendFrame(p, frameModels, payload) == nil {
-			reached++
+		if err := n.tr.send(p, typ, payload); err != nil {
+			if sum.Failed == nil {
+				sum.Failed = make(map[string]error)
+			}
+			sum.Failed[p] = err
+		} else {
+			sum.Reached++
 		}
 	}
-	return reached, nil
+	return sum
 }
 
 // Suggest scores every known tag for text using the ensemble of all model
@@ -212,7 +461,7 @@ func (n *Node) Publish() (int, error) {
 func (n *Node) Suggest(text string) ([]metrics.ScoredTag, error) {
 	x := n.pre.Vectorize(text)
 	n.mu.Lock()
-	sets := make([]*modelSet, 0, len(n.remote)+1)
+	sets := make([]*ModelSet, 0, len(n.remote)+1)
 	if n.own != nil {
 		sets = append(sets, n.own)
 	}
@@ -228,20 +477,28 @@ func (n *Node) Suggest(text string) ([]metrics.ScoredTag, error) {
 	if len(sets) == 0 {
 		return nil, errors.New("realnet: no models known yet (publish or wait for peers)")
 	}
+	out, _ := suggestFromSets(x, sets, nil)
+	return out, nil
+}
+
+// suggestFromSets pools per-tag probabilities across sets — accuracy over
+// chance as the weight, log-odds space for the vote. dec is scratch reused
+// across sets (and across calls, when the caller keeps it).
+func suggestFromSets(x *vector.Sparse, sets []*ModelSet, dec []float64) ([]metrics.ScoredTag, []float64) {
 	logitSum := map[string]float64{}
 	weightSum := map[string]float64{}
-	var dec []float64 // reused across sets within this call
 	for _, ms := range sets {
-		if ms.fused == nil {
+		f := ms.ensureFused()
+		if f == nil {
 			continue
 		}
-		dec = ms.fused.ScoreInto(x, dec)
-		for i, tag := range ms.fused.Tags() {
-			w := ms.accuracy[tag] - 0.5
+		dec = f.ScoreInto(x, dec)
+		for i, tag := range f.Tags() {
+			w := ms.Accuracy[tag] - 0.5
 			if w <= 0 {
 				continue
 			}
-			p := ms.platt[tag].Prob(dec[i])
+			p := ms.Platt[tag].Prob(dec[i])
 			logitSum[tag] += w * clampLogit(p)
 			weightSum[tag] += w
 		}
@@ -256,7 +513,7 @@ func (n *Node) Suggest(text string) ([]metrics.ScoredTag, error) {
 		}
 		return out[i].Tag < out[j].Tag
 	})
-	return out, nil
+	return out, dec
 }
 
 // AutoTag assigns tags above threshold (falling back to the single best).
@@ -296,95 +553,179 @@ func (n *Node) acceptLoop() {
 		if err != nil {
 			return // listener closed
 		}
+		n.mu.Lock()
+		n.conns[conn] = true
+		n.mu.Unlock()
 		n.wg.Add(1)
 		go func() {
 			defer n.wg.Done()
-			defer conn.Close()
+			defer func() {
+				n.mu.Lock()
+				delete(n.conns, conn)
+				n.mu.Unlock()
+				conn.Close()
+			}()
 			n.handleConn(conn)
 		}()
 	}
 }
 
 func (n *Node) handleConn(conn net.Conn) {
-	_ = conn.SetDeadline(time.Now().Add(30 * time.Second))
 	for {
+		// Refresh the read deadline per frame: a connection dies after
+		// FrameTimeout of silence, never merely for being long-lived.
+		// (Regression: a single deadline set at accept killed an actively
+		// gossiping connection 30s in, mid-frame-stream.)
+		_ = conn.SetReadDeadline(time.Now().Add(n.cfg.FrameTimeout))
 		typ, payload, err := readFrame(conn)
 		if err != nil {
+			if err != io.EOF {
+				n.tr.noteCorrupt()
+			}
 			return
 		}
+		n.tr.noteIn(len(payload))
 		switch typ {
 		case frameHello:
 			n.onHello(payload)
 		case frameModels:
 			n.onModels(payload)
+		case frameGen:
+			n.onGeneration(payload)
+		default:
+			n.tr.noteCorrupt()
 		}
 	}
+}
+
+// validAddr reports whether a self-reported peer address is usable: a
+// parseable host:port with both parts non-empty, and not this node itself.
+// Spoofing cannot be ruled out without authentication, but an invalid or
+// empty sender must never enter the membership or model tables.
+func (n *Node) validAddr(a string) bool {
+	if a == "" || a == n.ln.Addr().String() {
+		return false
+	}
+	host, port, err := net.SplitHostPort(a)
+	return err == nil && host != "" && port != ""
 }
 
 func (n *Node) onHello(payload []byte) {
 	addrs, err := decodeHello(payload)
 	if err != nil || len(addrs) == 0 {
+		n.tr.noteCorrupt()
 		return
 	}
 	// First address is the sender; the rest are its known peers
-	// (transitive discovery).
+	// (transitive discovery). Invalid addresses are dropped and the
+	// membership table is capped — a hello cannot grow state unbounded.
+	sender := addrs[0]
 	var fresh []string
 	n.mu.Lock()
 	for _, a := range addrs {
-		if a != "" && a != n.ln.Addr().String() && !n.peers[a] {
-			n.peers[a] = true
-			fresh = append(fresh, a)
+		if !n.validAddr(a) || n.peers[a] {
+			continue
 		}
+		if len(n.peers) >= n.cfg.MaxPeers {
+			break
+		}
+		n.peers[a] = true
+		fresh = append(fresh, a)
 	}
+	curPayload := n.curPayload
 	n.mu.Unlock()
-	// Introduce ourselves to newly learned peers.
+	if n.validAddr(sender) {
+		n.tr.creditIn(sender, len(payload))
+	}
+	// Introduce ourselves to newly learned peers — never on this reader
+	// goroutine: one unreachable "fresh" peer would otherwise stall frame
+	// processing for a full dial budget per address. Fresh peers also get
+	// the current model generation, so late joiners and restarted peers
+	// catch up without waiting for the origin's next rebroadcast.
 	for _, a := range fresh {
-		_ = n.sendHello(a)
+		a := a
+		n.async(func() { n.sendHello(a) })
+		if curPayload != nil {
+			n.async(func() { _ = n.tr.send(a, frameGen, curPayload) })
+		}
 	}
 }
 
 func (n *Node) onModels(payload []byte) {
 	sender, ms, err := decodeModelSet(payload)
 	if err != nil {
+		n.tr.noteCorrupt()
+		return
+	}
+	// The sender is self-reported: an empty or unparseable address must
+	// not pollute the peer and model tables (regression: it was trusted
+	// verbatim), and the tables are capped against invented-sender floods.
+	if !n.validAddr(sender) {
+		n.tr.noteCorrupt()
 		return
 	}
 	n.mu.Lock()
+	if _, known := n.remote[sender]; !known && len(n.remote) >= n.cfg.MaxPeers {
+		n.mu.Unlock()
+		return
+	}
 	n.remote[sender] = ms
-	if sender != n.ln.Addr().String() {
+	if !n.peers[sender] && len(n.peers) < n.cfg.MaxPeers {
 		n.peers[sender] = true
 	}
 	n.mu.Unlock()
+	n.tr.creditIn(sender, len(payload))
 }
 
 func (n *Node) addPeer(addr string) {
 	n.mu.Lock()
-	if addr != "" && addr != n.ln.Addr().String() {
+	if addr != "" && addr != n.ln.Addr().String() && len(n.peers) < n.cfg.MaxPeers {
 		n.peers[addr] = true
 	}
 	n.mu.Unlock()
 }
 
-func (n *Node) broadcastHello() {
+func (n *Node) broadcastHello() PublishSummary {
+	var sum PublishSummary
 	for _, p := range n.Peers() {
-		_ = n.sendHello(p)
+		if err := n.sendHello(p); err != nil {
+			if sum.Failed == nil {
+				sum.Failed = make(map[string]error)
+			}
+			sum.Failed[p] = err
+		} else {
+			sum.Reached++
+		}
 	}
+	return sum
 }
 
 func (n *Node) sendHello(to string) error {
 	payload := encodeHello(append([]string{n.Addr()}, n.Peers()...))
-	return n.sendFrame(to, frameHello, payload)
+	return n.tr.send(to, frameHello, payload)
 }
 
-// sendFrame dials, writes one frame and closes. Dial-per-message is slow
-// but simple and correct; model broadcasts are rare events.
-func (n *Node) sendFrame(to string, typ byte, payload []byte) error {
-	conn, err := net.DialTimeout("tcp", to, 5*time.Second)
-	if err != nil {
-		return err
+// async runs f on the background task pool — work (dials, relays) that
+// must not run on a connection-reader goroutine. A saturated pool drops
+// the task and counts it in Transport().DroppedTasks.
+func (n *Node) async(f func()) {
+	select {
+	case n.tasks <- f:
+	default:
+		n.tr.noteDropped()
 	}
-	defer conn.Close()
-	_ = conn.SetDeadline(time.Now().Add(30 * time.Second))
-	return writeFrame(conn, typ, payload)
+}
+
+func (n *Node) taskLoop() {
+	defer n.wg.Done()
+	for {
+		select {
+		case <-n.stop:
+			return
+		case f := <-n.tasks:
+			f()
+		}
+	}
 }
 
 func writeFrame(w io.Writer, typ byte, payload []byte) error {
@@ -450,31 +791,17 @@ func decodeHello(payload []byte) ([]string, error) {
 	return out, nil
 }
 
-func encodeModelSet(sender string, ms *modelSet) ([]byte, error) {
+func encodeModelSet(sender string, ms *ModelSet) ([]byte, error) {
 	var buf bytes.Buffer
 	_ = binary.Write(&buf, binary.LittleEndian, uint16(len(sender)))
 	buf.WriteString(sender)
-	tags := make([]string, 0, len(ms.models))
-	for tag := range ms.models {
-		tags = append(tags, tag)
-	}
-	sort.Strings(tags)
-	_ = binary.Write(&buf, binary.LittleEndian, uint16(len(tags)))
-	for _, tag := range tags {
-		_ = binary.Write(&buf, binary.LittleEndian, uint16(len(tag)))
-		buf.WriteString(tag)
-		if err := wire.WriteLinearModel(&buf, ms.models[tag]); err != nil {
-			return nil, err
-		}
-		pl := ms.platt[tag]
-		_ = binary.Write(&buf, binary.LittleEndian, math.Float64bits(pl.A))
-		_ = binary.Write(&buf, binary.LittleEndian, math.Float64bits(pl.B))
-		_ = binary.Write(&buf, binary.LittleEndian, math.Float64bits(ms.accuracy[tag]))
+	if err := wire.WriteModelSet(&buf, ms.toWire()); err != nil {
+		return nil, err
 	}
 	return buf.Bytes(), nil
 }
 
-func decodeModelSet(payload []byte) (string, *modelSet, error) {
+func decodeModelSet(payload []byte) (string, *ModelSet, error) {
 	r := bytes.NewReader(payload)
 	var sl uint16
 	if err := binary.Read(r, binary.LittleEndian, &sl); err != nil {
@@ -484,39 +811,9 @@ func decodeModelSet(payload []byte) (string, *modelSet, error) {
 	if _, err := io.ReadFull(r, sb); err != nil {
 		return "", nil, err
 	}
-	var nTags uint16
-	if err := binary.Read(r, binary.LittleEndian, &nTags); err != nil {
+	set, err := wire.ReadModelSet(r)
+	if err != nil {
 		return "", nil, err
 	}
-	ms := &modelSet{
-		models:   make(map[string]*svm.LinearModel, nTags),
-		platt:    make(map[string]svm.PlattParams, nTags),
-		accuracy: make(map[string]float64, nTags),
-	}
-	for i := 0; i < int(nTags); i++ {
-		var tl uint16
-		if err := binary.Read(r, binary.LittleEndian, &tl); err != nil {
-			return "", nil, err
-		}
-		tb := make([]byte, tl)
-		if _, err := io.ReadFull(r, tb); err != nil {
-			return "", nil, err
-		}
-		m, err := wire.ReadLinearModel(r)
-		if err != nil {
-			return "", nil, err
-		}
-		var a, b, acc uint64
-		for _, dst := range []*uint64{&a, &b, &acc} {
-			if err := binary.Read(r, binary.LittleEndian, dst); err != nil {
-				return "", nil, err
-			}
-		}
-		tag := string(tb)
-		ms.models[tag] = m
-		ms.platt[tag] = svm.PlattParams{A: math.Float64frombits(a), B: math.Float64frombits(b)}
-		ms.accuracy[tag] = math.Float64frombits(acc)
-	}
-	ms.fused = svm.NewFusedLinear(ms.models)
-	return string(sb), ms, nil
+	return string(sb), modelSetFromWire(set), nil
 }

@@ -139,6 +139,11 @@ type Stats struct {
 	// Requests counts submissions accepted into the queue (cache hits are
 	// answered before the queue and counted in CacheHits instead).
 	Requests int64
+	// Issued is the total number of answer rows handed to callers, however
+	// produced: Issued = Served + CacheHits + Coalesced + Deduped. This is
+	// the serving accounting identity — clients that count the rows they
+	// asked for can check it against any node's snapshot.
+	Issued int64
 	// Served counts completed requests, failed ones included.
 	Served int64
 	// Deduped counts TagBatch rows answered by intra-batch deduplication:
@@ -834,6 +839,7 @@ func (s *Server) Stats() Stats {
 		st.CacheEntries = s.cache.len()
 		st.CacheCapacity = s.cache.capacity
 	}
+	st.Issued = st.Served + st.CacheHits + st.Coalesced + st.Deduped
 	return st
 }
 

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sort"
 
 	"repro/internal/svm"
 	"repro/internal/vector"
@@ -230,6 +231,80 @@ func ReadKernelModel(r io.Reader) (*svm.KernelModel, error) {
 	}
 	m.Precompute() // rebuild the derived RBF norm cache (not serialized)
 	return m, nil
+}
+
+// CalibratedModel is one tag's entry in a published model set: a linear
+// one-vs-all model together with its Platt calibration and cross-validated
+// accuracy. This is the unit realnet peers broadcast and gossip.
+type CalibratedModel struct {
+	Model    *svm.LinearModel
+	Platt    svm.PlattParams
+	Accuracy float64
+}
+
+// maxModelSetTags bounds a decoded model set against corrupt tag counts.
+const maxModelSetTags = 1 << 16
+
+// WriteModelSet encodes a per-tag calibrated model bank in sorted tag
+// order, so identical sets always serialize to identical bytes.
+func WriteModelSet(w io.Writer, set map[string]CalibratedModel) error {
+	tags := make([]string, 0, len(set))
+	for tag := range set {
+		tags = append(tags, tag)
+	}
+	sort.Strings(tags)
+	if err := binary.Write(w, binary.LittleEndian, uint16(len(tags))); err != nil {
+		return err
+	}
+	for _, tag := range tags {
+		if err := writeString(w, tag); err != nil {
+			return err
+		}
+		cm := set[tag]
+		if err := WriteLinearModel(w, cm.Model); err != nil {
+			return err
+		}
+		for _, v := range [3]float64{cm.Platt.A, cm.Platt.B, cm.Accuracy} {
+			if err := binary.Write(w, binary.LittleEndian, math.Float64bits(v)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// ReadModelSet decodes a bank written by WriteModelSet.
+func ReadModelSet(r io.Reader) (map[string]CalibratedModel, error) {
+	var n uint16
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return nil, fmt.Errorf("%w: model set size: %v", ErrCorrupt, err)
+	}
+	if int(n) > maxModelSetTags {
+		return nil, fmt.Errorf("%w: model set claims %d tags", ErrCorrupt, n)
+	}
+	set := make(map[string]CalibratedModel, n)
+	for i := 0; i < int(n); i++ {
+		tag, err := readString(r)
+		if err != nil {
+			return nil, err
+		}
+		m, err := ReadLinearModel(r)
+		if err != nil {
+			return nil, err
+		}
+		var bits [3]uint64
+		for j := range bits {
+			if err := binary.Read(r, binary.LittleEndian, &bits[j]); err != nil {
+				return nil, fmt.Errorf("%w: tag %q calibration: %v", ErrCorrupt, tag, err)
+			}
+		}
+		set[tag] = CalibratedModel{
+			Model:    m,
+			Platt:    svm.PlattParams{A: math.Float64frombits(bits[0]), B: math.Float64frombits(bits[1])},
+			Accuracy: math.Float64frombits(bits[2]),
+		}
+	}
+	return set, nil
 }
 
 // WriteTagged encodes a tag name followed by a vector — the unit of a

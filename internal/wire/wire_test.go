@@ -231,3 +231,66 @@ func FuzzReadKernelModel(f *testing.F) {
 		}
 	})
 }
+
+func TestModelSetRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	set := map[string]CalibratedModel{}
+	for _, tag := range []string{"music", "travel", "cooking"} {
+		w := make([]float64, 64)
+		for i := 0; i < 12; i++ {
+			w[rng.Intn(len(w))] = rng.NormFloat64()
+		}
+		set[tag] = CalibratedModel{
+			Model:    &svm.LinearModel{W: w, Bias: rng.NormFloat64()},
+			Platt:    svm.PlattParams{A: rng.NormFloat64(), B: rng.NormFloat64()},
+			Accuracy: rng.Float64(),
+		}
+	}
+	var buf bytes.Buffer
+	if err := WriteModelSet(&buf, set); err != nil {
+		t.Fatal(err)
+	}
+	encoded := buf.Bytes()
+	got, err := ReadModelSet(bytes.NewReader(encoded))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(set) {
+		t.Fatalf("round trip returned %d tags, want %d", len(got), len(set))
+	}
+	for tag, want := range set {
+		g, ok := got[tag]
+		if !ok {
+			t.Fatalf("tag %q missing after round trip", tag)
+		}
+		if g.Platt != want.Platt || g.Accuracy != want.Accuracy || g.Model.Bias != want.Model.Bias {
+			t.Errorf("tag %q: calibration mismatch", tag)
+		}
+		if len(g.Model.W) != len(want.Model.W) {
+			t.Fatalf("tag %q: dim %d, want %d", tag, len(g.Model.W), len(want.Model.W))
+		}
+		for i, w := range want.Model.W {
+			if g.Model.W[i] != w {
+				t.Fatalf("tag %q: weight %d mismatch", tag, i)
+			}
+		}
+	}
+	// Determinism: identical sets serialize to identical bytes (tags are
+	// sorted during encode, so map order cannot leak in).
+	var again bytes.Buffer
+	if err := WriteModelSet(&again, set); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(encoded, again.Bytes()) {
+		t.Error("two encodings of the same set differ")
+	}
+	// Every truncation of a valid encoding must fail with ErrCorrupt, not
+	// panic or succeed.
+	for cut := 0; cut < len(encoded); cut += 7 {
+		if _, err := ReadModelSet(bytes.NewReader(encoded[:cut])); err == nil {
+			t.Fatalf("truncation at %d bytes accepted", cut)
+		} else if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("truncation at %d: error %v does not wrap ErrCorrupt", cut, err)
+		}
+	}
+}

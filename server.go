@@ -35,6 +35,19 @@ type ServerConfig struct {
 	CacheSize int
 }
 
+// Engine is the batch classification back-end a Server shards over: one
+// tag list per input text in input order; rows the engine cannot answer
+// are nil, and the returned error wraps the underlying cause of the first
+// failed row. Engines need not be safe for concurrent use — the Server
+// drives each shard engine on exactly one goroutine. A *Tagger is an
+// Engine; NewEngineServer and SwapEngines accept any other implementation
+// (for example an ensemble over gossiped model sets), which is how a
+// distributed cluster installs model generations that did not come from a
+// local Tagger.
+type Engine interface {
+	AutoTagBatch(texts []string) ([][]string, error)
+}
+
 // Serving errors, re-exported so callers need not import internal
 // packages.
 var (
@@ -68,6 +81,11 @@ type ServerStats struct {
 	// answered by single-flight dedup of concurrent identical misses
 	// (rows issued = Served + CacheHits + Coalesced + Deduped).
 	Requests, Served, Errors, Rejected, Deduped, Coalesced int64
+	// Issued is the total number of answer rows handed to callers, however
+	// produced: Issued = Served + CacheHits + Coalesced + Deduped, the
+	// serving accounting identity. Clients that count the rows they asked
+	// for can check it against any node's snapshot.
+	Issued int64
 	// Batches counts AutoTagBatch invocations, BatchedDocs sums their
 	// sizes; MeanBatchSize is their ratio and MaxBatchSeen the largest
 	// batch dispatched.
@@ -113,9 +131,16 @@ type ServerStats struct {
 type Server struct {
 	inner *serving.Server
 
-	refreshMu sync.Mutex // serializes Swap/Refresh
+	refreshMu sync.Mutex // serializes Swap/SwapEngines/Refresh
 
-	mu      sync.Mutex // guards taggers, baselines and retired
+	mu sync.Mutex // guards engines, taggers, baselines and retired
+	// engines is the currently serving generation, whatever built it; used
+	// to refuse installing an engine that is already serving. taggers is
+	// non-nil only when the generation came from NewServer/Swap/Refresh —
+	// generic engine generations (NewEngineServer, SwapEngines) have no
+	// swarm traffic to aggregate, so Stats' Network covers tagger
+	// generations only.
+	engines []Engine
 	taggers []*Tagger
 	// baselines[i] is taggers[i]'s cumulative swarm traffic at the moment
 	// it was installed; Stats counts only the excess, so Network is the
@@ -138,21 +163,79 @@ func NewServer(cfg ServerConfig, taggers ...*Tagger) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	inner, err := serving.New(serving.Config{
-		MaxBatch:  cfg.MaxBatch,
-		MaxDelay:  cfg.MaxDelay,
-		MaxQueue:  cfg.MaxQueue,
-		FailFast:  cfg.FailFast,
-		CacheSize: cfg.CacheSize,
-	}, engines...)
+	inner, err := serving.New(servingConfig(cfg), engines...)
 	if err != nil {
 		return nil, err
 	}
 	return &Server{
 		inner:     inner,
+		engines:   taggerEngines(taggers),
 		taggers:   append([]*Tagger(nil), taggers...),
 		baselines: installBaselines(taggers),
 	}, nil
+}
+
+// NewEngineServer builds a Server over arbitrary batch engines, one shard
+// per engine — the generic face of NewServer for generations that did not
+// come from local Taggers (a realnet ensemble over gossiped model sets,
+// say). The engines must be distinct instances and must answer
+// interchangeably; the Server assumes exclusive ownership of each. The
+// serving semantics (batching, caching, dedup, Swap draining) are exactly
+// those of a tagger-backed Server; only the Network traffic aggregation is
+// absent, since generic engines have no simulated swarm behind them.
+func NewEngineServer(cfg ServerConfig, engines ...Engine) (*Server, error) {
+	adapted, err := genericEngines(engines)
+	if err != nil {
+		return nil, err
+	}
+	inner, err := serving.New(servingConfig(cfg), adapted...)
+	if err != nil {
+		return nil, err
+	}
+	return &Server{
+		inner:   inner,
+		engines: append([]Engine(nil), engines...),
+	}, nil
+}
+
+func servingConfig(cfg ServerConfig) serving.Config {
+	return serving.Config{
+		MaxBatch:  cfg.MaxBatch,
+		MaxDelay:  cfg.MaxDelay,
+		MaxQueue:  cfg.MaxQueue,
+		FailFast:  cfg.FailFast,
+		CacheSize: cfg.CacheSize,
+	}
+}
+
+// taggerEngines views a tagger pool as its engine slice.
+func taggerEngines(taggers []*Tagger) []Engine {
+	engines := make([]Engine, len(taggers))
+	for i, tg := range taggers {
+		engines[i] = tg
+	}
+	return engines
+}
+
+// genericEngines validates an engine generation — non-empty, non-nil,
+// distinct — and adapts it to the serving layer.
+func genericEngines(engines []Engine) ([]serving.Engine, error) {
+	if len(engines) == 0 {
+		return nil, errors.New("doctagger: a server pool needs at least one engine")
+	}
+	adapted := make([]serving.Engine, len(engines))
+	seen := make(map[Engine]bool, len(engines))
+	for i, e := range engines {
+		if e == nil {
+			return nil, fmt.Errorf("doctagger: shard %d is nil", i)
+		}
+		if seen[e] {
+			return nil, fmt.Errorf("doctagger: shard %d reuses another shard's engine", i)
+		}
+		seen[e] = true
+		adapted[i] = e
+	}
+	return adapted, nil
 }
 
 // installBaselines snapshots each tagger's cumulative traffic at install
@@ -256,16 +339,8 @@ func (s *Server) swapLocked(taggers []*Tagger) ([]*Tagger, error) {
 	if err != nil {
 		return nil, err
 	}
-	s.mu.Lock()
-	current := make(map[*Tagger]bool, len(s.taggers))
-	for _, tg := range s.taggers {
-		current[tg] = true
-	}
-	s.mu.Unlock()
-	for i, tg := range taggers {
-		if current[tg] {
-			return nil, fmt.Errorf("doctagger: shard %d is still serving in the current generation", i)
-		}
+	if err := s.checkNotServing(taggerEngines(taggers)); err != nil {
+		return nil, err
 	}
 	// Snapshot the incoming generation's baselines before it can serve a
 	// single request (the dispatcher switches inside inner.Swap, which
@@ -277,16 +352,71 @@ func (s *Server) swapLocked(taggers []*Tagger) ([]*Tagger, error) {
 	}
 	s.mu.Lock()
 	old := s.taggers
-	for i, tg := range old {
-		// Fold in what the retiring generation served while installed.
-		ns := tg.Stats()
-		s.retired.Messages += ns.Messages - s.baselines[i].Messages
-		s.retired.Bytes += ns.Bytes - s.baselines[i].Bytes
-	}
+	s.retireLocked()
+	s.engines = taggerEngines(taggers)
 	s.taggers = append([]*Tagger(nil), taggers...)
 	s.baselines = newBaselines
 	s.mu.Unlock()
 	return old, nil
+}
+
+// SwapEngines installs arbitrary batch engines as the new serving
+// generation under live traffic, with the same drain/flush guarantees as
+// Swap: no accepted request is dropped and no cached answer outlives the
+// generation that produced it. This is the install path for generations
+// that did not come from local Taggers — a cluster node receiving a
+// gossiped model generation wraps it per shard and swaps it in here. The
+// engines are validated like NewEngineServer's and must not already be
+// serving. A retiring tagger generation's swarm traffic stays in the
+// Network stats; the retired taggers themselves are the caller's to keep.
+func (s *Server) SwapEngines(engines ...Engine) error {
+	s.refreshMu.Lock()
+	defer s.refreshMu.Unlock()
+	adapted, err := genericEngines(engines)
+	if err != nil {
+		return err
+	}
+	if err := s.checkNotServing(engines); err != nil {
+		return err
+	}
+	if err := s.inner.Swap(adapted...); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.retireLocked()
+	s.engines = append([]Engine(nil), engines...)
+	s.taggers, s.baselines = nil, nil
+	s.mu.Unlock()
+	return nil
+}
+
+// checkNotServing refuses engines already present in the live generation
+// (each shard is driven by its own goroutine; an engine can serve in at
+// most one generation at a time).
+func (s *Server) checkNotServing(engines []Engine) error {
+	s.mu.Lock()
+	current := make(map[Engine]bool, len(s.engines))
+	for _, e := range s.engines {
+		current[e] = true
+	}
+	s.mu.Unlock()
+	for i, e := range engines {
+		if current[e] {
+			return fmt.Errorf("doctagger: shard %d is still serving in the current generation", i)
+		}
+	}
+	return nil
+}
+
+// retireLocked folds the outgoing tagger generation's while-installed
+// swarm traffic into retired; a no-op for generic engine generations. The
+// caller holds s.mu.
+func (s *Server) retireLocked() {
+	for i, tg := range s.taggers {
+		ns := tg.Stats()
+		s.retired.Messages += ns.Messages - s.baselines[i].Messages
+		s.retired.Bytes += ns.Bytes - s.baselines[i].Bytes
+	}
 }
 
 // Refresh rebuilds the pool with build (called with each shard index, like
@@ -307,6 +437,9 @@ func (s *Server) Refresh(build func(shard int) (*Tagger, error)) (int64, error) 
 	s.mu.Lock()
 	shards := len(s.taggers)
 	s.mu.Unlock()
+	if shards == 0 {
+		return 0, errors.New("doctagger: current generation is not tagger-backed; use Swap or SwapEngines")
+	}
 	taggers, err := buildGeneration(shards, build)
 	if err != nil {
 		return 0, err
@@ -333,6 +466,7 @@ func (s *Server) Stats() ServerStats {
 		Rejected:       st.Rejected,
 		Deduped:        st.Deduped,
 		Coalesced:      st.Coalesced,
+		Issued:         st.Issued,
 		Batches:        st.Batches,
 		BatchedDocs:    st.BatchedDocs,
 		MeanBatchSize:  st.MeanBatchSize,
