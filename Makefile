@@ -1,0 +1,31 @@
+# Local targets mirror the CI job (.github/workflows/ci.yml) exactly, so
+# a green `make check` predicts a green required-checks run.
+
+.PHONY: build test race lint vet check bench
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+# The CI test tier: race detector + -short gating.
+race:
+	go test -race -short ./...
+
+vet:
+	go vet ./...
+
+# dmtvet: the repo's custom determinism/safety analyzers (internal/lint),
+# a required CI step. Run it the same way CI does.
+lint:
+	go run ./cmd/dmtvet ./...
+
+check: build vet lint race
+
+# The benchmark artifacts the CI bench job uploads.
+bench:
+	go run ./cmd/p2pserve -loadgen -peers 4 -shards 2 -clients 1,8,64 -requests 256 -repeat 0.9 -cache 1024 -json BENCH_serving.json
+	go run ./cmd/p2pserve -loadgen-cluster -protocol local -peers 4 -shards 2 -cluster-nodes 3 -requests 256 -json BENCH_cluster.json
+	go run ./cmd/simbench -peers 512 -shards 1,2,4,8 -reps 3 -json BENCH_simnet.json
+	go run ./cmd/tagbench -queries 400 -json BENCH_tagging.json

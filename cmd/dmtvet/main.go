@@ -1,0 +1,90 @@
+// Command dmtvet runs the repo's custom static-analysis suite
+// (internal/lint) over the module: the determinism and safety contracts
+// from ROADMAP.md's "Standing contracts" section as compile-time checks.
+//
+// Usage:
+//
+//	go run ./cmd/dmtvet [-run detrand,maprange] [-list] [packages]
+//
+// Packages default to ./... resolved against the enclosing module root,
+// so the command behaves identically from any directory in the repo — and
+// identically in CI, where it is a required step next to go vet. dmtvet
+// exits 1 when any diagnostic is reported, 2 on usage or load errors.
+//
+// Suppress a finding surgically with a comment on (or directly above) the
+// offending line:
+//
+//	//dmtvet:allow <analyzer> <reason>
+//
+// The reason is mandatory; malformed waivers are themselves diagnostics.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/lint"
+	"repro/internal/lint/analysis"
+)
+
+func main() {
+	var (
+		runList  = flag.String("run", "", "comma-separated analyzer names to run (default: all)")
+		listOnly = flag.Bool("list", false, "list analyzers and exit")
+	)
+	flag.Parse()
+
+	all := lint.Analyzers()
+	if *listOnly {
+		for _, a := range all {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers := all
+	if *runList != "" {
+		byName := make(map[string]*analysis.Analyzer, len(all))
+		for _, a := range all {
+			byName[a.Name] = a
+		}
+		analyzers = nil
+		for _, name := range strings.Split(*runList, ",") {
+			name = strings.TrimSpace(name)
+			a, ok := byName[name]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "dmtvet: unknown analyzer %q (see -list)\n", name)
+				os.Exit(2)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dmtvet:", err)
+		os.Exit(2)
+	}
+	root, err := analysis.ModuleRoot(cwd)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dmtvet:", err)
+		os.Exit(2)
+	}
+
+	n, err := analysis.Run(root, patterns, analyzers, os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dmtvet:", err)
+		os.Exit(2)
+	}
+	if n > 0 {
+		fmt.Fprintf(os.Stderr, "dmtvet: %d diagnostic(s)\n", n)
+		os.Exit(1)
+	}
+}

@@ -188,4 +188,34 @@
 // exact float64 bit patterns — so the fast path changes latency, never
 // answers. cmd/tagbench measures the trajectory (docs/sec, p50/p99,
 // allocs/op, fused-vs-per-tag scoring) and writes BENCH_tagging.json.
+//
+// # Static analysis / invariants
+//
+// The contracts above are not just prose: cmd/dmtvet (internal/lint) is a
+// suite of custom analyzers — built on internal/lint/analysis, an
+// offline, API-compatible stand-in for golang.org/x/tools/go/analysis —
+// that enforces them at vet time, as a required CI step next to go vet:
+//
+//   - detrand: no wall-clock reads (time.Now/Since/Until), global
+//     math/rand draws, or rand generators whose seed does not flow from
+//     runner.DeriveSeed or a Config/Options seed field, inside the
+//     deterministic packages (simnet, p2pdmt, cempar, pace, baseline,
+//     experiments, textproc, svm, runner and the simulation substrate).
+//   - maprange: no order-dependent reductions over map iteration (float
+//     accumulation, string concatenation, unsorted appends) — the latent
+//     MacroF1 bug class fixed by hand in PR 1.
+//   - scratchescape: pooled scratch workspaces must not escape the
+//     borrowing call (the preprocessing contract above).
+//   - enginerules: node event handlers must not call serial-point engine
+//     APIs (AddNode/RemoveNode/Kill/Revive/ScheduleSystem) or the setup
+//     stream Rand — the PDES discipline, previously a runtime panic, as a
+//     compile-time diagnostic.
+//   - fusedmut: svm.FusedLinear is immutable outside NewFusedLinear (the
+//     rebuild-on-swap contract above).
+//
+// Run `go run ./cmd/dmtvet ./...` (or `make lint`) locally — identical to
+// CI. Surgical exceptions use a mandatory-reason waiver comment on or
+// directly above the offending line:
+//
+//	//dmtvet:allow <analyzer> <reason>
 package doctagger

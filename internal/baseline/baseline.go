@@ -167,6 +167,10 @@ func (c *Centralized) handle(self simnet.NodeID, m simnet.Message) {
 		for tag, sc := range a.scores {
 			out = append(out, metrics.ScoredTag{Tag: tag, Score: sc})
 		}
+		// Canonical tag order: every downstream consumer re-sorts with a
+		// full tie-break, but the callback contract itself should not
+		// leak map iteration order (dmtvet/maprange).
+		sort.Slice(out, func(i, j int) bool { return out[i].Tag < out[j].Tag })
 		cb(out, true)
 	}
 }

@@ -546,6 +546,10 @@ func (s *System) finalize(origin simnet.NodeID, req uint64) {
 	for tag, sum := range pq.scoreSum {
 		out = append(out, metrics.ScoredTag{Tag: tag, Score: sum / pq.weightSum[tag]})
 	}
+	// Canonical tag order: every downstream consumer re-sorts with a
+	// full tie-break, but the callback contract itself should not leak
+	// map iteration order (dmtvet/maprange).
+	sort.Slice(out, func(i, j int) bool { return out[i].Tag < out[j].Tag })
 	pq.cb(out, true)
 }
 

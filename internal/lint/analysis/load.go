@@ -1,0 +1,195 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Package is one type-checked package ready for analysis.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+}
+
+// listPackage is the subset of `go list -json` output the loader consumes.
+type listPackage struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	GoFiles    []string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+}
+
+// Exports resolves import paths to compiled export data files by querying
+// the local go command. Lookups are cached, so a long analysis run shells
+// out once per unseen dependency closure, not once per import.
+type Exports struct {
+	// ModuleDir is the directory the go command runs in (the module
+	// root). Import paths are resolved in its module context.
+	ModuleDir string
+
+	mu    sync.Mutex
+	files map[string]string // import path -> export data file
+}
+
+// NewExports returns an empty resolver rooted at moduleDir.
+func NewExports(moduleDir string) *Exports {
+	return &Exports{ModuleDir: moduleDir, files: make(map[string]string)}
+}
+
+// goList runs `go list -export -deps -json args...` in the module root and
+// records every package's export data location. It returns the decoded
+// package list.
+func (e *Exports) goList(args ...string) ([]*listPackage, error) {
+	cmd := exec.Command("go", append([]string{"list", "-export", "-deps", "-json"}, args...)...)
+	cmd.Dir = e.ModuleDir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(args, " "), err, stderr.String())
+	}
+	var pkgs []*listPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		p := new(listPackage)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	e.mu.Lock()
+	for _, p := range pkgs {
+		if p.Export != "" {
+			e.files[p.ImportPath] = p.Export
+		}
+	}
+	e.mu.Unlock()
+	return pkgs, nil
+}
+
+// lookup returns an open reader over path's export data, resolving the
+// path (and its dependency closure) through the go command on first use.
+func (e *Exports) lookup(path string) (io.ReadCloser, error) {
+	e.mu.Lock()
+	f, ok := e.files[path]
+	e.mu.Unlock()
+	if !ok {
+		if _, err := e.goList(path); err != nil {
+			return nil, err
+		}
+		e.mu.Lock()
+		f, ok = e.files[path]
+		e.mu.Unlock()
+	}
+	if !ok {
+		return nil, fmt.Errorf("no export data for %q", path)
+	}
+	return os.Open(f)
+}
+
+// Importer returns a go/types importer that reads gc export data through
+// this resolver.
+func (e *Exports) Importer(fset *token.FileSet) types.Importer {
+	return importer.ForCompiler(fset, "gc", e.lookup)
+}
+
+// CheckFiles parses and type-checks the given source files as one package
+// with import path pkgPath, resolving imports through e. It is the common
+// core of Load and the analysistest fixture harness.
+func (e *Exports) CheckFiles(fset *token.FileSet, pkgPath string, filenames []string) (*Package, error) {
+	files := make([]*ast.File, 0, len(filenames))
+	for _, fn := range filenames {
+		f, err := parser.ParseFile(fset, fn, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	conf := types.Config{Importer: e.Importer(fset)}
+	tpkg, err := conf.Check(pkgPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", pkgPath, err)
+	}
+	dir := ""
+	if len(filenames) > 0 {
+		dir = filepath.Dir(filenames[0])
+	}
+	return &Package{ImportPath: pkgPath, Dir: dir, Files: files, Types: tpkg, Info: info}, nil
+}
+
+// Load type-checks every package matched by patterns (e.g. "./...") in the
+// module rooted at moduleDir. Dependencies are consumed as compiled export
+// data; only the matched packages themselves are parsed, so analyzers see
+// full syntax plus full type information exactly like a go/analysis
+// driver. Test files are not included (GoFiles only), matching what ships
+// in a build.
+func Load(fset *token.FileSet, moduleDir string, patterns []string) ([]*Package, error) {
+	e := NewExports(moduleDir)
+	listed, err := e.goList(patterns...)
+	if err != nil {
+		return nil, err
+	}
+	var out []*Package
+	for _, lp := range listed {
+		if lp.DepOnly || lp.Standard || len(lp.GoFiles) == 0 {
+			continue
+		}
+		names := make([]string, len(lp.GoFiles))
+		for i, gf := range lp.GoFiles {
+			names[i] = filepath.Join(lp.Dir, gf)
+		}
+		pkg, err := e.CheckFiles(fset, lp.ImportPath, names)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ImportPath < out[j].ImportPath })
+	return out, nil
+}
+
+// ModuleRoot walks up from dir to the enclosing go.mod directory.
+func ModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}

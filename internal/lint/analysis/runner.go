@@ -1,0 +1,153 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"io"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// WaiverPrefix introduces a suppression comment. The full syntax is
+//
+//	//dmtvet:allow <analyzer> <reason>
+//
+// which silences diagnostics from <analyzer> on the comment's own line and
+// on the line directly below it (so the waiver can ride at the end of the
+// offending line or on its own line above). The reason is mandatory: a
+// waiver without one — or naming an unknown analyzer — is itself reported
+// as a diagnostic, so suppressions stay auditable.
+const WaiverPrefix = "//dmtvet:allow"
+
+// driverName attributes diagnostics produced by the runner itself
+// (malformed waivers) rather than by an analyzer.
+const driverName = "dmtvet"
+
+// ResultDiagnostic is one finding attributed to its analyzer.
+type ResultDiagnostic struct {
+	Analyzer string
+	Pos      token.Pos
+	Message  string
+}
+
+// waiverKey identifies one suppression: an analyzer name and a line it
+// covers.
+type waiverKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+// scanWaivers collects the waiver table for a package and reports
+// malformed waiver comments. known maps valid analyzer names.
+func scanWaivers(fset *token.FileSet, pkg *Package, known map[string]bool) (map[waiverKey]bool, []ResultDiagnostic) {
+	waived := make(map[waiverKey]bool)
+	var diags []ResultDiagnostic
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, WaiverPrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, WaiverPrefix)
+				fields := strings.Fields(rest)
+				switch {
+				case len(fields) == 0:
+					diags = append(diags, ResultDiagnostic{
+						Analyzer: driverName, Pos: c.Pos(),
+						Message: "malformed waiver: missing analyzer name and reason (want //dmtvet:allow <analyzer> <reason>)",
+					})
+				case !known[fields[0]]:
+					diags = append(diags, ResultDiagnostic{
+						Analyzer: driverName, Pos: c.Pos(),
+						Message: fmt.Sprintf("malformed waiver: unknown analyzer %q", fields[0]),
+					})
+				case len(fields) < 2:
+					diags = append(diags, ResultDiagnostic{
+						Analyzer: driverName, Pos: c.Pos(),
+						Message: fmt.Sprintf("malformed waiver: %s waiver needs a reason", fields[0]),
+					})
+				default:
+					p := fset.Position(c.Pos())
+					waived[waiverKey{p.Filename, p.Line, fields[0]}] = true
+				}
+			}
+		}
+	}
+	return waived, diags
+}
+
+// RunPackage applies every analyzer to pkg, filters findings through the
+// package's waiver comments, and returns the surviving diagnostics sorted
+// by position.
+func RunPackage(fset *token.FileSet, pkg *Package, analyzers []*Analyzer) ([]ResultDiagnostic, error) {
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	waived, diags := scanWaivers(fset, pkg, known)
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+		}
+		name := a.Name
+		pass.Report = func(d Diagnostic) {
+			p := fset.Position(d.Pos)
+			if waived[waiverKey{p.Filename, p.Line, name}] ||
+				waived[waiverKey{p.Filename, p.Line - 1, name}] {
+				return
+			}
+			diags = append(diags, ResultDiagnostic{Analyzer: name, Pos: d.Pos, Message: d.Message})
+		}
+		if _, err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s on %s: %v", a.Name, pkg.ImportPath, err)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		pi, pj := fset.Position(diags[i].Pos), fset.Position(diags[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		if pi.Column != pj.Column {
+			return pi.Column < pj.Column
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	return diags, nil
+}
+
+// Run loads the packages matched by patterns, applies the analyzers, and
+// prints diagnostics to w as "path:line:col: analyzer: message" with paths
+// relative to moduleDir. It returns the number of diagnostics printed.
+func Run(moduleDir string, patterns []string, analyzers []*Analyzer, w io.Writer) (int, error) {
+	fset := token.NewFileSet()
+	pkgs, err := Load(fset, moduleDir, patterns)
+	if err != nil {
+		return 0, err
+	}
+	total := 0
+	for _, pkg := range pkgs {
+		diags, err := RunPackage(fset, pkg, analyzers)
+		if err != nil {
+			return total, err
+		}
+		for _, d := range diags {
+			p := fset.Position(d.Pos)
+			name := p.Filename
+			if rel, err := filepath.Rel(moduleDir, name); err == nil && !strings.HasPrefix(rel, "..") {
+				name = rel
+			}
+			fmt.Fprintf(w, "%s:%d:%d: %s: %s\n", name, p.Line, p.Column, d.Analyzer, d.Message)
+			total++
+		}
+	}
+	return total, nil
+}

@@ -1,0 +1,127 @@
+package analysis
+
+import (
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// checkSource type-checks one in-memory file as a throwaway package.
+func checkSource(t *testing.T, src string) (*token.FileSet, *Package) {
+	t.Helper()
+	dir := t.TempDir()
+	fn := filepath.Join(dir, "a.go")
+	if err := os.WriteFile(fn, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	root, err := ModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	pkg, err := NewExports(root).CheckFiles(fset, "fixture/waiver", []string{fn})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, pkg
+}
+
+// always fires one diagnostic at each function declaration.
+var always = &Analyzer{
+	Name: "always",
+	Doc:  "test analyzer: diagnose every function",
+	Run: func(pass *Pass) (any, error) {
+		for _, f := range pass.Files {
+			for _, d := range f.Decls {
+				if fd, ok := d.(interface{ Pos() token.Pos }); ok {
+					pass.Reportf(fd.Pos(), "function found")
+				}
+			}
+		}
+		return nil, nil
+	},
+}
+
+func TestWaiverSuppressesDiagnostic(t *testing.T) {
+	fset, pkg := checkSource(t, `package waiver
+
+//dmtvet:allow always this function is exempt for testing
+func waived() {}
+
+func flagged() {}
+`)
+	diags, err := RunPackage(fset, pkg, []*Analyzer{always})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want 1 (waived() suppressed): %+v", len(diags), diags)
+	}
+	if line := fset.Position(diags[0].Pos).Line; line != 6 {
+		t.Errorf("surviving diagnostic on line %d, want 6 (flagged())", line)
+	}
+}
+
+func TestMalformedWaivers(t *testing.T) {
+	fset, pkg := checkSource(t, `package waiver
+
+//dmtvet:allow always
+func missingReason() {}
+
+//dmtvet:allow nosuchanalyzer because reasons
+func unknownAnalyzer() {}
+`)
+	diags, err := RunPackage(fset, pkg, []*Analyzer{always})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var malformed []string
+	for _, d := range diags {
+		if d.Analyzer == "dmtvet" {
+			malformed = append(malformed, d.Message)
+		}
+	}
+	if len(malformed) != 2 {
+		t.Fatalf("got %d malformed-waiver diagnostics, want 2: %v", len(malformed), malformed)
+	}
+	if !strings.Contains(malformed[0], "needs a reason") {
+		t.Errorf("missing-reason waiver not diagnosed: %q", malformed[0])
+	}
+	if !strings.Contains(malformed[1], "unknown analyzer") {
+		t.Errorf("unknown-analyzer waiver not diagnosed: %q", malformed[1])
+	}
+	// A reasonless waiver does not suppress: both functions still flagged.
+	funcs := 0
+	for _, d := range diags {
+		if d.Analyzer == "always" {
+			funcs++
+		}
+	}
+	if funcs != 2 {
+		t.Errorf("got %d always diagnostics, want 2 (malformed waivers must not suppress)", funcs)
+	}
+}
+
+func TestLoadModulePackages(t *testing.T) {
+	root, err := ModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	pkgs, err := Load(fset, root, []string{"./internal/runner"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 || pkgs[0].ImportPath != "repro/internal/runner" {
+		t.Fatalf("Load returned %+v, want exactly repro/internal/runner", pkgs)
+	}
+	p := pkgs[0]
+	if len(p.Files) == 0 || p.Types == nil || p.Info == nil {
+		t.Fatal("loaded package missing syntax or type info")
+	}
+	if p.Types.Scope().Lookup("DeriveSeed") == nil {
+		t.Error("runner.DeriveSeed not in loaded package scope")
+	}
+}

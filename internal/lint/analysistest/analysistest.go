@@ -1,0 +1,155 @@
+// Package analysistest runs dmtvet analyzers over seeded source fixtures
+// and checks their diagnostics against // want comments, mirroring
+// golang.org/x/tools/go/analysis/analysistest for the in-repo analysis
+// framework.
+//
+// A fixture is a directory of Go files forming one package. Lines that
+// must be diagnosed carry a trailing comment
+//
+//	// want `regexp` [`regexp` ...]
+//
+// with one regexp per expected diagnostic on that line (double quotes work
+// too). The harness fails the test on any unexpected diagnostic and on
+// any unmet expectation, so fixtures prove both that an analyzer fires
+// and that it stays silent. Waiver comments (//dmtvet:allow) are honored
+// exactly as in a real dmtvet run, so fixtures can also pin the
+// suppression behavior.
+//
+// Fixtures may import real module packages (e.g. repro/internal/simnet)
+// and the standard library: imports resolve through the go command's
+// export data, the same path the dmtvet loader uses.
+package analysistest
+
+import (
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/lint/analysis"
+)
+
+var (
+	exportsOnce sync.Once
+	exports     *analysis.Exports
+	exportsErr  error
+)
+
+// sharedExports returns a process-wide export data resolver rooted at the
+// enclosing module, so repeated fixture runs reuse one cache.
+func sharedExports() (*analysis.Exports, error) {
+	exportsOnce.Do(func() {
+		cwd, err := os.Getwd()
+		if err != nil {
+			exportsErr = err
+			return
+		}
+		root, err := analysis.ModuleRoot(cwd)
+		if err != nil {
+			exportsErr = err
+			return
+		}
+		exports = analysis.NewExports(root)
+	})
+	return exports, exportsErr
+}
+
+// expectation is one // want regexp anchored to a file line.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	met  bool
+}
+
+// wantRe extracts the quoted or backquoted patterns of a want comment.
+var wantRe = regexp.MustCompile("`([^`]*)`|\"((?:[^\"\\\\]|\\\\.)*)\"")
+
+// Run applies analyzer to the fixture package in dir, type-checked under
+// import path pkgPath, and reports mismatches between its diagnostics and
+// the fixture's // want comments via t.
+func Run(t *testing.T, analyzer *analysis.Analyzer, dir, pkgPath string) {
+	t.Helper()
+	e, err := sharedExports()
+	if err != nil {
+		t.Fatalf("resolving module root: %v", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading fixture dir: %v", err)
+	}
+	var files []string
+	for _, ent := range entries {
+		if !ent.IsDir() && strings.HasSuffix(ent.Name(), ".go") {
+			files = append(files, filepath.Join(dir, ent.Name()))
+		}
+	}
+	if len(files) == 0 {
+		t.Fatalf("no fixture files in %s", dir)
+	}
+	sort.Strings(files)
+
+	fset := token.NewFileSet()
+	pkg, err := e.CheckFiles(fset, pkgPath, files)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				matches := wantRe.FindAllStringSubmatch(strings.TrimPrefix(text, "want "), -1)
+				if len(matches) == 0 {
+					t.Errorf("%s:%d: malformed want comment: %q", pos.Filename, pos.Line, c.Text)
+					continue
+				}
+				for _, m := range matches {
+					pat := m[1]
+					if pat == "" {
+						pat = m[2]
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Errorf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, pat, err)
+						continue
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+
+	diags, err := analysis.RunPackage(fset, pkg, []*analysis.Analyzer{analyzer})
+	if err != nil {
+		t.Fatalf("running %s: %v", analyzer.Name, err)
+	}
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		matched := false
+		for _, w := range wants {
+			if !w.met && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(d.Message) {
+				w.met = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s:%d: unexpected diagnostic: %s: %s", pos.Filename, pos.Line, d.Analyzer, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.met {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}

@@ -1,0 +1,188 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// deterministicPkgs are the packages whose observable output must be a
+// pure function of their seeds: simulation, training, preprocessing and
+// the experiment harness. Wall-clock reads and randomness that does not
+// derive from a seed are contract violations here. Serving-side packages
+// (serving, realnet, tagstore, the root package, cmd/*) legitimately use
+// wall time and are not listed.
+var deterministicPkgs = []string{
+	"repro/internal/simnet",
+	"repro/internal/p2pdmt",
+	"repro/internal/cempar",
+	"repro/internal/pace",
+	"repro/internal/baseline",
+	"repro/internal/experiments",
+	"repro/internal/textproc",
+	"repro/internal/svm",
+	"repro/internal/runner",
+	// Not named by the original contract but equally seed-pure: the
+	// simulation substrate and model/data layers they depend on.
+	"repro/internal/dht",
+	"repro/internal/overlay",
+	"repro/internal/lsh",
+	"repro/internal/cluster",
+	"repro/internal/metrics",
+	"repro/internal/vector",
+	"repro/internal/wire",
+	"repro/internal/dataset",
+	"repro/internal/protocol",
+}
+
+// wallClockFuncs are the time package functions that read the wall clock.
+var wallClockFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+// randConstructors are math/rand (v1 and v2) top-level functions that
+// build a generator rather than draw from the shared global one. They are
+// allowed when their seed derives from runner.DeriveSeed or a seed field;
+// every other top-level rand function uses the globally seeded source and
+// is always a violation in a deterministic package.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+// seedEnteringConstructors is the subset of randConstructors whose integer
+// arguments are the seed itself.
+var seedEnteringConstructors = map[string]bool{
+	"NewSource": true, "NewPCG": true, "NewChaCha8": true,
+}
+
+// DetRand enforces the byte-determinism contract: inside the deterministic
+// packages it reports wall-clock reads (time.Now/Since/Until), draws from
+// the global math/rand source, and rand generators whose seed does not
+// visibly derive from runner.DeriveSeed or a seed-named field/variable.
+var DetRand = &analysis.Analyzer{
+	Name: "detrand",
+	Doc: "forbid wall-clock reads and underived randomness in the deterministic packages " +
+		"(simnet, p2pdmt, cempar, pace, baseline, experiments, textproc, svm, runner, ...): " +
+		"time.Now, global math/rand draws, and rand.New seeds that do not flow from " +
+		"runner.DeriveSeed or a Config/Options seed field",
+	Run: runDetRand,
+}
+
+func runDetRand(pass *analysis.Pass) (any, error) {
+	applies := false
+	for _, p := range deterministicPkgs {
+		if underPath(pass.Pkg.Path(), p) {
+			applies = true
+			break
+		}
+	}
+	if !applies {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		// localInit maps each function-local variable to the last
+		// expression assigned to it, so seed provenance can be traced
+		// through one or two intermediate locals (s := DeriveSeed(...);
+		// rand.NewSource(s)).
+		localInit := map[string]ast.Expr{}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for i, lhs := range n.Lhs {
+					if id, ok := lhs.(*ast.Ident); ok && id.Name != "_" && i < len(n.Rhs) {
+						localInit[id.Name] = n.Rhs[i]
+					}
+				}
+			case *ast.CallExpr:
+				checkDetRandCall(pass, n, localInit)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+func checkDetRandCall(pass *analysis.Pass, call *ast.CallExpr, localInit map[string]ast.Expr) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	pkg := importedPackage(pass.TypesInfo, sel.X)
+	if pkg == nil {
+		return // method call or local selector, not pkg.Func(...)
+	}
+	name := sel.Sel.Name
+	switch pkg.Path() {
+	case "time":
+		if wallClockFuncs[name] {
+			pass.Reportf(call.Pos(),
+				"time.%s reads the wall clock in deterministic package %s; use virtual time or an injected clock",
+				name, pass.Pkg.Path())
+		}
+	case "math/rand", "math/rand/v2":
+		switch {
+		case seedEnteringConstructors[name]:
+			for _, arg := range call.Args {
+				if !seedDerived(arg, localInit, 0) {
+					pass.Reportf(call.Pos(),
+						"rand.%s seed does not derive from runner.DeriveSeed or a seed field; "+
+							"per-entity randomness must flow from the run seed", name)
+					return
+				}
+			}
+		case name == "New":
+			// rand.New(rand.NewSource(x)) is vetted at the inner call;
+			// rand.New(src) over a plain variable is vetted through the
+			// variable's provenance.
+			if len(call.Args) == 1 {
+				if inner, ok := ast.Unparen(call.Args[0]).(*ast.CallExpr); ok && seedEnteringConstructors[calleeName(inner)] {
+					return
+				}
+				if !seedDerived(call.Args[0], localInit, 0) {
+					pass.Reportf(call.Pos(),
+						"rand.New source does not derive from runner.DeriveSeed or a seed field")
+				}
+			}
+		case randConstructors[name]:
+			// NewZipf draws from an already-vetted *Rand.
+		default:
+			pass.Reportf(call.Pos(),
+				"rand.%s draws from the global math/rand source in deterministic package %s; "+
+					"use a generator seeded via runner.DeriveSeed", name, pass.Pkg.Path())
+		}
+	}
+}
+
+// seedDerived reports whether expr visibly flows from a seed: it (or,
+// tracing through up to four local assignments, anything assigned to an
+// identifier in it) mentions a DeriveSeed call or a name containing
+// "seed".
+func seedDerived(expr ast.Expr, localInit map[string]ast.Expr, depth int) bool {
+	if depth > 4 {
+		return false
+	}
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if calleeName(n) == "DeriveSeed" {
+				found = true
+				return false
+			}
+		case *ast.Ident:
+			if strings.Contains(strings.ToLower(n.Name), "seed") {
+				found = true
+				return false
+			}
+			if init, ok := localInit[n.Name]; ok && init != expr && seedDerived(init, localInit, depth+1) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

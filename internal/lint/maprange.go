@@ -1,0 +1,244 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+// MapRange flags order-dependent reductions over map iteration — the
+// exact latent bug class behind the MacroF1 nondeterminism PR 1 fixed by
+// hand. Go randomizes map iteration order, so inside a `for ... range m`
+// over a map it reports:
+//
+//   - floating-point (or complex) accumulation into a variable that
+//     outlives the loop: IEEE-754 addition is not associative, so the
+//     sum's low bits depend on visit order;
+//   - string concatenation into such a variable: the result depends
+//     directly on visit order;
+//   - appends into an outer slice with no subsequent sort of that slice
+//     anywhere later in the function: the element order leaks iteration
+//     order into anything that compares or encodes the slice.
+//
+// Integer accumulation is exact and commutative and therefore allowed, as
+// is the standard collect-then-sort idiom (append keys, sort, iterate
+// sorted keys).
+var MapRange = &analysis.Analyzer{
+	Name: "maprange",
+	Doc: "flag order-dependent reductions over map iteration: float accumulation, " +
+		"string concatenation, or appends never sorted afterwards",
+	Run: runMapRange,
+}
+
+func runMapRange(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				rng, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				t := pass.TypesInfo.TypeOf(rng.X)
+				if t == nil {
+					return true
+				}
+				if _, isMap := t.Underlying().(*types.Map); !isMap {
+					return true
+				}
+				checkMapRangeBody(pass, fd, rng)
+				return true
+			})
+		}
+	}
+	return nil, nil
+}
+
+func checkMapRangeBody(pass *analysis.Pass, fd *ast.FuncDecl, rng *ast.RangeStmt) {
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		switch as.Tok {
+		case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+			checkAccumulate(pass, rng, as.Lhs[0], as.Tok)
+		case token.ASSIGN:
+			if len(as.Lhs) == 1 && len(as.Rhs) == 1 {
+				// x = x + v and x = append(x, ...) forms.
+				if call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr); ok && calleeName(call) == "append" {
+					checkAppend(pass, fd, rng, as.Lhs[0], call)
+					return true
+				}
+				if selfReferential(pass.TypesInfo, as.Lhs[0], as.Rhs[0]) {
+					checkAccumulate(pass, rng, as.Lhs[0], token.ADD_ASSIGN)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkAccumulate reports lhs op= ... inside a map range when lhs is an
+// order-sensitive accumulator (float/complex/string) that outlives the
+// loop body.
+func checkAccumulate(pass *analysis.Pass, rng *ast.RangeStmt, lhs ast.Expr, tok token.Token) {
+	t := pass.TypesInfo.TypeOf(lhs)
+	if t == nil {
+		return
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return
+	}
+	info := b.Info()
+	isFloat := info&(types.IsFloat|types.IsComplex) != 0
+	isString := info&types.IsString != 0 && tok == token.ADD_ASSIGN
+	if !isFloat && !isString {
+		return
+	}
+	if obj := rootObject(pass.TypesInfo, lhs); obj != nil && within(obj.Pos(), rng.Body) {
+		return // per-iteration local, dies before order can matter
+	}
+	// dst[k] += v indexed by the range key itself visits every slot at
+	// most once, so no two iterations' order can interact.
+	if ix, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok {
+		if keyID, ok := rng.Key.(*ast.Ident); ok && keyID.Name != "_" {
+			keyObj := pass.TypesInfo.Defs[keyID]
+			if keyObj == nil {
+				keyObj = pass.TypesInfo.Uses[keyID]
+			}
+			if idxID, ok := ast.Unparen(ix.Index).(*ast.Ident); ok && keyObj != nil &&
+				pass.TypesInfo.Uses[idxID] == keyObj {
+				return
+			}
+		}
+	}
+	what := "floating-point accumulation"
+	if isString {
+		what = "string concatenation"
+	}
+	pass.Reportf(lhs.Pos(),
+		"%s over map iteration order is nondeterministic; iterate sorted keys instead", what)
+}
+
+// checkAppend reports x = append(x, ...) inside a map range when x
+// outlives the loop and the function never sorts x afterwards.
+func checkAppend(pass *analysis.Pass, fd *ast.FuncDecl, rng *ast.RangeStmt, lhs ast.Expr, call *ast.CallExpr) {
+	// Targets rooted anywhere in the range statement — a per-iteration
+	// local, or the range key/value binding itself (appending into a
+	// field of the current element is per-element state, not a reduction
+	// over the iteration) — cannot leak iteration order.
+	obj := rootObject(pass.TypesInfo, lhs)
+	if obj == nil || within(obj.Pos(), rng) {
+		return
+	}
+	// Only the self-accumulating form append(x, ...) into x leaks
+	// iteration order into x.
+	if len(call.Args) == 0 || rootObject(pass.TypesInfo, call.Args[0]) != obj {
+		return
+	}
+	if sortedLater(pass.TypesInfo, fd, rng, obj) {
+		return
+	}
+	pass.Reportf(lhs.Pos(),
+		"append over map iteration order without a subsequent sort leaks nondeterministic element order")
+}
+
+// sortedLater reports whether fd's body, at or after the range statement,
+// contains a call that sorts obj: sort.*/slices.Sort* with obj among the
+// arguments, or any call whose name contains "Sort" taking obj.
+func sortedLater(info *types.Info, fd *ast.FuncDecl, rng *ast.RangeStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found || n == nil || n.End() < rng.Pos() {
+			return !found
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		name := calleeName(call)
+		sorting := false
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			if pkg := importedPackage(info, sel.X); pkg != nil {
+				p := pkg.Path()
+				sorting = p == "sort" || p == "slices"
+			}
+		}
+		if !sorting && !containsSort(name) {
+			return true
+		}
+		for _, arg := range call.Args {
+			if rootObject(info, arg) == obj {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func containsSort(name string) bool {
+	for i := 0; i+4 <= len(name); i++ {
+		if name[i] == 'S' || name[i] == 's' {
+			if (name[i+1]|0x20) == 'o' && (name[i+2]|0x20) == 'r' && (name[i+3]|0x20) == 't' {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// selfReferential reports whether rhs mentions the same object lhs roots
+// at (the x = x + v accumulation shape).
+func selfReferential(info *types.Info, lhs, rhs ast.Expr) bool {
+	obj := rootObject(info, lhs)
+	if obj == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(rhs, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && info.Uses[id] == obj {
+			found = true
+			return false
+		}
+		return !found
+	})
+	return found
+}
+
+// rootObject resolves the variable an lvalue expression ultimately roots
+// at: x, x.f, x[i] all root at x's object.
+func rootObject(info *types.Info, e ast.Expr) types.Object {
+	for {
+		switch t := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			if obj := info.Uses[t]; obj != nil {
+				return obj
+			}
+			return info.Defs[t]
+		case *ast.SelectorExpr:
+			e = t.X
+		case *ast.IndexExpr:
+			e = t.X
+		case *ast.SliceExpr:
+			e = t.X
+		case *ast.StarExpr:
+			e = t.X
+		default:
+			return nil
+		}
+	}
+}
+
+// within reports whether pos falls inside node's source range.
+func within(pos token.Pos, node ast.Node) bool {
+	return pos >= node.Pos() && pos <= node.End()
+}

@@ -1,0 +1,254 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+// ScratchEscape enforces the fast-path scratch contract: a pooled scratch
+// workspace (textproc's wsPool workspaces, lsh's sigPool signature
+// scratch, or any future sync.Pool-backed buffer) must not outlive the
+// call that borrowed it. Everything handed to callers must be copied out
+// first — otherwise a later borrower of the same workspace silently
+// rewrites bytes the first caller still holds.
+//
+// The analyzer taints every local bound to a pool borrow — a call to a
+// get*-style pool accessor (getWorkspace and friends) or a direct
+// (*sync.Pool).Get — and everything that aliases its memory: field
+// selections, index/slice expressions, slice conversions, appends onto a
+// tainted slice and composite literals embedding one. It reports tainted
+// values that escape via a return statement, a channel send, a write to a
+// package-level variable, or a write into a field of anything that is not
+// itself the workspace. Copying conversions (string(ws.arena)) and calls
+// (the callee gets its own diagnostic if it leaks) detach the taint.
+var ScratchEscape = &analysis.Analyzer{
+	Name: "scratchescape",
+	Doc: "pooled scratch workspaces must not escape the borrowing call: no returning, " +
+		"channel-sending, or storing a pooled buffer (or a slice aliasing one) outside the call",
+	Run: runScratchEscape,
+}
+
+func runScratchEscape(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkScratchFunc(pass, fd)
+		}
+	}
+	return nil, nil
+}
+
+func checkScratchFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	// The pool accessor itself (getWorkspace and friends) is the borrow
+	// point: returning the pooled value is its entire job.
+	if isBorrowName(fd.Name.Name) {
+		return
+	}
+	info := pass.TypesInfo
+	tainted := map[types.Object]bool{}
+
+	// Seed and propagate taint to a fixed point: each pass taints locals
+	// assigned from a tainted expression; a handful of rounds covers any
+	// realistic chain of local aliases.
+	for range 8 {
+		changed := false
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			for i, lhs := range as.Lhs {
+				var rhs ast.Expr
+				switch {
+				case len(as.Rhs) == len(as.Lhs):
+					rhs = as.Rhs[i]
+				case len(as.Rhs) == 1:
+					rhs = as.Rhs[0] // multi-value: taint all LHS conservatively
+				default:
+					continue
+				}
+				id, ok := lhs.(*ast.Ident)
+				if !ok || id.Name == "_" {
+					continue
+				}
+				if !scratchTainted(info, tainted, rhs) {
+					continue
+				}
+				obj := info.Defs[id]
+				if obj == nil {
+					obj = info.Uses[id]
+				}
+				if obj != nil && !tainted[obj] {
+					tainted[obj] = true
+					changed = true
+				}
+			}
+			return true
+		})
+		if !changed {
+			break
+		}
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				if scratchTainted(info, tainted, res) {
+					pass.Reportf(res.Pos(),
+						"pooled scratch escapes the borrowing call via return; copy the bytes out instead")
+				}
+			}
+		case *ast.SendStmt:
+			if scratchTainted(info, tainted, n.Value) {
+				pass.Reportf(n.Value.Pos(),
+					"pooled scratch escapes the borrowing call via channel send; copy the bytes out instead")
+			}
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				if i >= len(n.Rhs) {
+					break
+				}
+				if !scratchTainted(info, tainted, n.Rhs[i]) {
+					continue
+				}
+				checkScratchStore(pass, tainted, lhs)
+			}
+		}
+		return true
+	})
+}
+
+// checkScratchStore reports stores of tainted values into locations that
+// outlive the call: package-level variables, and fields or elements of
+// anything that is not itself part of the workspace.
+func checkScratchStore(pass *analysis.Pass, tainted map[types.Object]bool, lhs ast.Expr) {
+	info := pass.TypesInfo
+	switch l := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		obj := info.Uses[l]
+		if obj == nil {
+			obj = info.Defs[l]
+		}
+		if obj != nil && obj.Parent() == pass.Pkg.Scope() {
+			pass.Reportf(lhs.Pos(),
+				"pooled scratch stored in package-level variable %s outlives the borrowing call", l.Name)
+		}
+	case *ast.SelectorExpr:
+		// Writing back into the workspace itself (ws.arena = append(...))
+		// is the normal reuse pattern; writing into any other struct's
+		// field publishes the buffer.
+		if !scratchTainted(info, tainted, l.X) {
+			pass.Reportf(lhs.Pos(),
+				"pooled scratch stored in a struct field outlives the borrowing call; copy the bytes out instead")
+		}
+	case *ast.IndexExpr:
+		base := rootObject(info, l.X)
+		if scratchTainted(info, tainted, l.X) {
+			return
+		}
+		if base != nil && base.Parent() == pass.Pkg.Scope() {
+			pass.Reportf(lhs.Pos(),
+				"pooled scratch stored in package-level container %s outlives the borrowing call", base.Name())
+		}
+	}
+}
+
+// scratchTainted reports whether e evaluates to pooled scratch memory or
+// something aliasing it.
+func scratchTainted(info *types.Info, tainted map[types.Object]bool, e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := info.Uses[e]
+		if obj == nil {
+			obj = info.Defs[e]
+		}
+		return obj != nil && tainted[obj]
+	case *ast.SelectorExpr:
+		return scratchTainted(info, tainted, e.X)
+	case *ast.IndexExpr:
+		return scratchTainted(info, tainted, e.X)
+	case *ast.SliceExpr:
+		return scratchTainted(info, tainted, e.X)
+	case *ast.StarExpr:
+		return scratchTainted(info, tainted, e.X)
+	case *ast.UnaryExpr:
+		return scratchTainted(info, tainted, e.X)
+	case *ast.TypeAssertExpr:
+		return scratchTainted(info, tainted, e.X)
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				el = kv.Value
+			}
+			if scratchTainted(info, tainted, el) {
+				return true
+			}
+		}
+		return false
+	case *ast.CallExpr:
+		if isPoolBorrow(info, e) {
+			return true
+		}
+		switch calleeName(e) {
+		case "append":
+			// append copies the appended values; the result aliases
+			// only the destination slice.
+			return len(e.Args) > 0 && scratchTainted(info, tainted, e.Args[0])
+		}
+		// A conversion keeps the backing array for slice->slice shapes
+		// and copies for string/basic targets.
+		if tv, ok := info.Types[e.Fun]; ok && tv.IsType() && len(e.Args) == 1 {
+			t := tv.Type.Underlying()
+			if _, isSlice := t.(*types.Slice); isSlice {
+				return scratchTainted(info, tainted, e.Args[0])
+			}
+			return false
+		}
+		return false // ordinary calls are assumed to copy; their bodies are checked separately
+	}
+	return false
+}
+
+// isPoolBorrow reports whether call borrows from a pool: a direct
+// (*sync.Pool).Get, or a call to a function whose name starts with "get"
+// and whose body is a pool Get (matched by name: getWorkspace, etc.).
+func isPoolBorrow(info *types.Info, call *ast.CallExpr) bool {
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if sel.Sel.Name == "Get" && receiverNamed(info, sel.X, "sync", "Pool") {
+			return true
+		}
+	}
+	return isBorrowName(calleeName(call))
+}
+
+// isBorrowName matches the naming convention of pool accessor functions:
+// getWorkspace, getScratch, etc.
+func isBorrowName(name string) bool {
+	return len(name) > 3 && name[:3] == "get" &&
+		(containsFold(name, "workspace") || containsFold(name, "scratch"))
+}
+
+func containsFold(s, sub string) bool {
+	if len(sub) > len(s) {
+		return false
+	}
+	for i := 0; i+len(sub) <= len(s); i++ {
+		ok := true
+		for j := 0; j < len(sub); j++ {
+			if s[i+j]|0x20 != sub[j]|0x20 {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}

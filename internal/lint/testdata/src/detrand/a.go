@@ -1,0 +1,48 @@
+// Fixture for dmtvet/detrand, type-checked as a package under
+// repro/internal/pace — a deterministic package where wall-clock reads
+// and underived randomness are contract violations.
+package fixture
+
+import (
+	"math/rand"
+	"time"
+
+	"repro/internal/runner"
+)
+
+// Config mirrors the repo's seeded-options idiom.
+type Config struct {
+	Seed int64
+}
+
+func wallClock() time.Duration {
+	start := time.Now()                      // want `time\.Now reads the wall clock`
+	defer func() { _ = time.Since(start) }() // want `time\.Since reads the wall clock`
+	return 0
+}
+
+func globalRand() int {
+	rand.Shuffle(3, func(i, j int) {}) // want `rand\.Shuffle draws from the global math/rand source`
+	return rand.Intn(4)                // want `rand\.Intn draws from the global math/rand source`
+}
+
+func underivedSeed() *rand.Rand {
+	return rand.New(rand.NewSource(42)) // want `rand\.NewSource seed does not derive from runner\.DeriveSeed or a seed field`
+}
+
+func derivedSeeds(cfg Config, id int) {
+	_ = rand.New(rand.NewSource(cfg.Seed + 31*int64(id)))
+	_ = rand.New(rand.NewSource(runner.DeriveSeed(cfg.Seed, "fixture", "x")))
+	s := runner.DeriveSeed(7, "local", "chain")
+	src := rand.NewSource(s)
+	_ = rand.New(src)
+}
+
+func waived() time.Time {
+	//dmtvet:allow detrand fixture pins that a reasoned waiver suppresses the diagnostic
+	return time.Now()
+}
+
+func waivedSameLine() time.Time {
+	return time.Now() //dmtvet:allow detrand end-of-line waivers are honored too
+}

@@ -1,0 +1,18 @@
+// Fixture for dmtvet/detrand, type-checked as a package under
+// repro/internal/serving — a wall-clock-legitimate package the analyzer
+// must stay silent in.
+package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+func timing() time.Duration {
+	start := time.Now()
+	return time.Since(start)
+}
+
+func jitter() int {
+	return rand.New(rand.NewSource(time.Now().UnixNano())).Intn(100)
+}

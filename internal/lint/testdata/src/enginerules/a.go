@@ -1,0 +1,59 @@
+// Fixture for dmtvet/enginerules: engine-mutation APIs called from simnet
+// node event handlers. The fixture imports the real engine package so the
+// receiver types match production code exactly.
+package fixture
+
+import (
+	"time"
+
+	"repro/internal/simnet"
+)
+
+type proto struct {
+	net *simnet.Network
+}
+
+func (p *proto) HandleMessage(net *simnet.Network, msg simnet.Message) {
+	net.Kill(msg.From)                         // want `\(\*simnet\.Network\)\.Kill kills a node and is only legal at serial points`
+	net.Revive(msg.From)                       // want `\(\*simnet\.Network\)\.Revive revives a node`
+	net.RemoveNode(msg.From)                   // want `\(\*simnet\.Network\)\.RemoveNode deletes a node`
+	net.ScheduleSystem(time.Second, func() {}) // want `\(\*simnet\.Network\)\.ScheduleSystem schedules a system event`
+	_ = net.Rand()                             // want `\(\*simnet\.Network\)\.Rand is the serial-point setup stream`
+	p.net.Kill(msg.To)                         // want `\(\*simnet\.Network\)\.Kill kills a node`
+
+	// Own-node actions are the legal handler vocabulary.
+	net.Send(simnet.Message{From: msg.To, To: msg.From, Kind: "fixture.reply", Size: 8})
+	_ = net.NodeRand(msg.To)
+	net.Schedule(msg.To, time.Second, func() {
+		net.Kill(msg.To) // want `\(\*simnet\.Network\)\.Kill kills a node`
+	})
+}
+
+// Timer literals scheduled by handler-adjacent code are node events too.
+func armTimer(net *simnet.Network, self simnet.NodeID) {
+	net.Schedule(self, time.Second, func() {
+		net.Revive(self) // want `\(\*simnet\.Network\)\.Revive revives a node`
+	})
+}
+
+// HandlerFunc conversions wrap the literal as a message handler.
+var _ = simnet.HandlerFunc(func(net *simnet.Network, msg simnet.Message) {
+	net.RemoveNode(msg.To) // want `\(\*simnet\.Network\)\.RemoveNode deletes a node`
+})
+
+// Serial-point code — setup, system events — may mutate freely.
+func setup(net *simnet.Network, churnAt time.Duration) {
+	net.AddNode(1, simnet.HandlerFunc(func(*simnet.Network, simnet.Message) {}))
+	net.ScheduleSystem(churnAt, func() {
+		net.Kill(1)
+		net.Revive(1)
+	})
+	_ = net.Rand()
+}
+
+func waived(net *simnet.Network, self simnet.NodeID) {
+	net.Schedule(self, time.Second, func() {
+		//dmtvet:allow enginerules fixture pins that a reasoned waiver suppresses the diagnostic
+		net.Kill(self)
+	})
+}

@@ -1,0 +1,84 @@
+// Fixture for dmtvet/fusedmut: the FusedLinear score matrix is immutable
+// outside its constructor. The fixture declares a structural twin of
+// svm.FusedLinear (the analyzer matches the type by name, because the
+// real type's fields are unexported and unreachable from a fixture
+// package) plus the constructor and accessor shapes of the real API.
+package fixture
+
+type fusedCell struct {
+	tag int32
+	w   float64
+}
+
+type FusedLinear struct {
+	tags  []string
+	bias  []float64
+	rows  []float64
+	cells []fusedCell
+}
+
+// NewFusedLinear is the one place allowed to write fields.
+func NewFusedLinear(tags []string, dim int) *FusedLinear {
+	f := &FusedLinear{}
+	f.tags = tags
+	f.bias = make([]float64, len(tags))
+	f.rows = make([]float64, dim*len(tags))
+	for i := range f.rows {
+		f.rows[i] = 0
+	}
+	f.cells = append(f.cells, fusedCell{tag: 0, w: 1})
+	return f
+}
+
+// Tags hands out the backing slice read-only, like the real API.
+func (f *FusedLinear) Tags() []string { return f.tags }
+
+func mutateField(f *FusedLinear) {
+	f.rows = nil // want `write to FusedLinear field rows outside NewFusedLinear`
+}
+
+func mutateElement(f *FusedLinear) {
+	f.rows[0] = 1 // want `write to FusedLinear backing array element outside NewFusedLinear`
+}
+
+func mutateCell(f *FusedLinear) {
+	f.cells[0].w = 2 // want `write to FusedLinear backing array element outside NewFusedLinear`
+}
+
+func mutateViaAlias(f *FusedLinear) {
+	rows := f.rows
+	rows[3] = 1 // want `write to FusedLinear backing array element outside NewFusedLinear`
+}
+
+func mutateViaAccessor(f *FusedLinear) {
+	f.Tags()[0] = "hijacked" // want `write to FusedLinear backing array element outside NewFusedLinear`
+}
+
+func incrementElement(f *FusedLinear) {
+	f.bias[0]++ // want `write to FusedLinear backing array element outside NewFusedLinear`
+}
+
+func readOnly(f *FusedLinear, dst []float64) []float64 {
+	if cap(dst) < len(f.tags) {
+		dst = make([]float64, len(f.tags))
+	}
+	dst = dst[:len(f.tags)]
+	for i := range dst {
+		dst[i] = f.bias[i] // writes go to the caller's dst, reads from f
+	}
+	cells := f.cells
+	for _, c := range cells {
+		dst[c.tag] += c.w
+	}
+	_ = f.Tags()
+	return dst
+}
+
+func rebuild(tags []string) *FusedLinear {
+	return NewFusedLinear(tags, 16) // the contract: construct, don't patch
+}
+
+func waived(f *FusedLinear) {
+	//dmtvet:allow fusedmut fixture pins that a reasoned waiver suppresses the diagnostic
+	f.rows = nil
+}

@@ -1,0 +1,96 @@
+// Fixture for dmtvet/maprange: order-dependent reductions over map
+// iteration.
+package fixture
+
+import "sort"
+
+func floatSum(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want `floating-point accumulation over map iteration order`
+	}
+	return sum
+}
+
+func floatSumAssignForm(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum = sum + v // want `floating-point accumulation over map iteration order`
+	}
+	return sum
+}
+
+func stringConcat(m map[string]string) string {
+	var s string
+	for k := range m {
+		s += k // want `string concatenation over map iteration order`
+	}
+	return s
+}
+
+func appendNoSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `append over map iteration order without a subsequent sort`
+	}
+	return keys
+}
+
+func appendThenSort(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func sortedKeySum(m map[string]float64) float64 {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sum float64
+	for _, k := range keys {
+		sum += m[k] // range over a sorted slice, not the map
+	}
+	return sum
+}
+
+func intSum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v // integer addition is exact and commutative
+	}
+	return total
+}
+
+func perKeyMerge(dst, src map[string]float64) {
+	for k, v := range src {
+		dst[k] += v // each key visited once; no cross-iteration order
+	}
+}
+
+func perIterationLocal(m map[string][]float64) int {
+	n := 0
+	for _, vs := range m {
+		var s float64
+		for _, v := range vs {
+			s += v // accumulator local to the iteration
+		}
+		if s > 1 {
+			n++
+		}
+	}
+	return n
+}
+
+func waived(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		//dmtvet:allow maprange sum feeds a tolerance check only, never encoded output
+		sum += v
+	}
+	return sum
+}

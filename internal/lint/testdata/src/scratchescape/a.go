@@ -1,0 +1,85 @@
+// Fixture for dmtvet/scratchescape: pooled scratch must not escape the
+// borrowing call.
+package fixture
+
+import "sync"
+
+type workspace struct {
+	arena []byte
+	spans []int
+}
+
+var wsPool = sync.Pool{New: func() any { return new(workspace) }}
+
+func getWorkspace() *workspace  { return wsPool.Get().(*workspace) }
+func putWorkspace(w *workspace) { wsPool.Put(w) }
+
+var published []byte
+
+type holder struct {
+	buf []byte
+}
+
+func escapeViaReturn() []byte {
+	ws := getWorkspace()
+	defer putWorkspace(ws)
+	return ws.arena // want `pooled scratch escapes the borrowing call via return`
+}
+
+func escapeViaReturnSlice() []byte {
+	ws := getWorkspace()
+	return ws.arena[:0] // want `pooled scratch escapes the borrowing call via return`
+}
+
+func escapeViaLocalAlias() []byte {
+	ws := getWorkspace()
+	buf := ws.arena
+	trimmed := buf[1:]
+	return trimmed // want `pooled scratch escapes the borrowing call via return`
+}
+
+func escapeViaField(h *holder) {
+	ws := getWorkspace()
+	h.buf = ws.arena // want `pooled scratch stored in a struct field`
+}
+
+func escapeViaPackageVar() {
+	ws := getWorkspace()
+	published = ws.arena // want `pooled scratch stored in package-level variable published`
+}
+
+func escapeViaChannel(ch chan []byte) {
+	ws := getWorkspace()
+	ch <- ws.arena // want `pooled scratch escapes the borrowing call via channel send`
+}
+
+func escapeViaDirectGet() *workspace {
+	return wsPool.Get().(*workspace) // want `pooled scratch escapes the borrowing call via return`
+}
+
+func copyOutString() string {
+	ws := getWorkspace()
+	defer putWorkspace(ws)
+	return string(ws.arena) // conversion to string copies
+}
+
+func copyOutAppend(dst []byte) []byte {
+	ws := getWorkspace()
+	defer putWorkspace(ws)
+	return append(dst, ws.arena...) // append copies the bytes into dst
+}
+
+func internalReuse() int {
+	ws := getWorkspace()
+	defer putWorkspace(ws)
+	ws.arena = ws.arena[:0]
+	ws.arena = append(ws.arena, 'x')
+	ws.spans = append(ws.spans, len(ws.arena))
+	return len(ws.spans)
+}
+
+func waivedReturn() []byte {
+	ws := getWorkspace()
+	//dmtvet:allow scratchescape fixture pins that a reasoned waiver suppresses the diagnostic
+	return ws.arena
+}

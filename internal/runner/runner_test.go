@@ -108,7 +108,7 @@ func TestDeriveSeedProperties(t *testing.T) {
 		{"different coord", DeriveSeed(42, "E1", "cempar", "16")},
 		{"fewer coords", DeriveSeed(42, "E1", "cempar")},
 		{"shifted boundary", DeriveSeed(42, "E1c", "empar", "8")},
-	}{
+	} {
 		if prev, dup := seen[d.seed]; dup {
 			t.Fatalf("%s collides with %s (seed %d)", d.name, prev, d.seed)
 		}
