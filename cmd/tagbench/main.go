@@ -1,10 +1,12 @@
 // Command tagbench measures the tagging-path performance trajectory: it
 // trains swarms on the standard synthetic corpus and reports, per
 // protocol, single-document AutoTag throughput (docs/sec) with p50/p99
-// latency and allocations per document, plus two micro-sections for the
+// latency and allocations per document, plus micro-sections for the
 // stages this repository optimizes — pooled preprocessing
-// (Preprocessor.Vectorize) and fused multi-tag linear scoring (one
-// CSR pass over the document vs one dot product per tag). With -json it
+// (Preprocessor.Vectorize), fused multi-tag linear scoring (one
+// CSR pass over the document vs one dot product per tag), the 8-wide
+// blocked dense layout vs the scalar dense walk, and the streaming
+// preprocess+score pipeline vs its materialized twin. With -json it
 // writes the results as a machine-readable artifact, the tagging entry in
 // the performance trajectory next to BENCH_serving.json and
 // BENCH_simnet.json; the committed BENCH_tagging.json at the repository
@@ -20,6 +22,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math/rand"
 	"os"
 	"runtime"
 	"sort"
@@ -57,14 +60,31 @@ type scoringRun struct {
 	Speedup       float64 `json:"speedup"`
 }
 
+type blockedRun struct {
+	Tags           int     `json:"tags"`
+	DenseNsPerOp   float64 `json:"dense_ns_per_op"`
+	BlockedNsPerOp float64 `json:"blocked_ns_per_op"`
+	Speedup        float64 `json:"speedup"`
+}
+
+type streamingRun struct {
+	MaterializedNsPerOp     float64 `json:"materialized_ns_per_op"`
+	MaterializedAllocsPerOp float64 `json:"materialized_allocs_per_op"`
+	StreamingNsPerOp        float64 `json:"streaming_ns_per_op"`
+	StreamingAllocsPerOp    float64 `json:"streaming_allocs_per_op"`
+	Speedup                 float64 `json:"speedup"`
+}
+
 type report struct {
-	GOMAXPROCS int        `json:"gomaxprocs"`
-	Users      int        `json:"users"`
-	Peers      int        `json:"peers"`
-	AutoTag    []protoRun `json:"autotag"`
-	Vectorize  microRun   `json:"vectorize"`
-	Scoring    scoringRun `json:"fused_scoring"`
-	Note       string     `json:"note"`
+	GOMAXPROCS int          `json:"gomaxprocs"`
+	Users      int          `json:"users"`
+	Peers      int          `json:"peers"`
+	AutoTag    []protoRun   `json:"autotag"`
+	Vectorize  microRun     `json:"vectorize"`
+	Scoring    scoringRun   `json:"fused_scoring"`
+	Blocked    blockedRun   `json:"blocked_scoring"`
+	Streaming  streamingRun `json:"streaming_batch"`
+	Note       string       `json:"note"`
 }
 
 func main() {
@@ -123,6 +143,15 @@ func main() {
 	rep.Scoring = benchScoring(train, test, *seed)
 	fmt.Printf("scoring %d tags:   per-tag %7.0f ns/op   fused %7.0f ns/op   %.2fx\n",
 		rep.Scoring.Tags, rep.Scoring.PerTagNsPerOp, rep.Scoring.FusedNsPerOp, rep.Scoring.Speedup)
+
+	rep.Blocked = benchBlockedScoring(*seed)
+	fmt.Printf("blocked %d tags:  dense %7.0f ns/op   blocked %7.0f ns/op   %.2fx\n",
+		rep.Blocked.Tags, rep.Blocked.DenseNsPerOp, rep.Blocked.BlockedNsPerOp, rep.Blocked.Speedup)
+
+	rep.Streaming = benchStreamingBatch(train, test, *seed)
+	fmt.Printf("streaming batch:   mat %7.0f ns/op (%.1f allocs)   stream %7.0f ns/op (%.1f allocs)   %.2fx\n",
+		rep.Streaming.MaterializedNsPerOp, rep.Streaming.MaterializedAllocsPerOp,
+		rep.Streaming.StreamingNsPerOp, rep.Streaming.StreamingAllocsPerOp, rep.Streaming.Speedup)
 
 	if *jsonPath != "" {
 		blob, err := json.MarshalIndent(rep, "", "  ")
@@ -266,6 +295,142 @@ func benchScoring(train, test []doctagger.CorpusDoc, seed int64) scoringRun {
 		PerTagNsPerOp: pt,
 		FusedNsPerOp:  fu,
 		Speedup:       pt / fu,
+	}
+}
+
+// benchBlockedScoring pits the scalar dense layout against the 8-wide
+// blocked one on an identical dense bank — 16 tags, the regime the
+// blocked layout exists for — verifying bit-identical scores against
+// per-tag Decision on both before timing.
+func benchBlockedScoring(seed int64) blockedRun {
+	const (
+		tags = 16
+		dim  = 4096
+		fill = 0.6
+	)
+	rng := rand.New(rand.NewSource(seed))
+	bank := make(map[string]*svm.LinearModel, tags)
+	for t := 0; t < tags; t++ {
+		w := make([]float64, dim)
+		for f := range w {
+			if rng.Float64() < fill {
+				w[f] = rng.NormFloat64()
+			}
+		}
+		bank[fmt.Sprintf("tag%02d", t)] = &svm.LinearModel{W: w, Bias: rng.NormFloat64()}
+	}
+	var queries []*vector.Sparse
+	for q := 0; q < 64; q++ {
+		m := map[int32]float64{}
+		for j := 0; j < 48; j++ {
+			m[rng.Int31n(dim)] = rng.Float64()
+		}
+		queries = append(queries, vector.FromMap(m).Normalize())
+	}
+
+	dense := svm.NewFusedLinearLayout(bank, svm.LayoutDense)
+	blocked := svm.NewFusedLinearLayout(bank, svm.LayoutBlocked)
+	order := dense.Tags()
+	dBuf := make([]float64, len(order))
+	bBuf := make([]float64, len(order)+8) // room for the padded tail
+	for _, q := range queries {
+		dBuf = dense.ScoreInto(q, dBuf)
+		bBuf = blocked.ScoreInto(q, bBuf)
+		for i, tag := range order {
+			want := bank[tag].Decision(q)
+			if dBuf[i] != want || bBuf[i] != want {
+				log.Fatalf("blocked bench: layout diverged from Decision on tag %s", tag)
+			}
+		}
+	}
+
+	denseRes := testing.Benchmark(func(b *testing.B) {
+		var sink float64
+		for i := 0; i < b.N; i++ {
+			dBuf = dense.ScoreInto(queries[i%len(queries)], dBuf)
+			sink += dBuf[0]
+		}
+		_ = sink
+	})
+	blockedRes := testing.Benchmark(func(b *testing.B) {
+		var sink float64
+		for i := 0; i < b.N; i++ {
+			bBuf = blocked.ScoreInto(queries[i%len(queries)], bBuf)
+			sink += bBuf[0]
+		}
+		_ = sink
+	})
+	dn := float64(denseRes.NsPerOp())
+	bn := float64(blockedRes.NsPerOp())
+	return blockedRun{Tags: tags, DenseNsPerOp: dn, BlockedNsPerOp: bn, Speedup: dn / bn}
+}
+
+// benchStreamingBatch measures one document through preprocess+score both
+// ways: materialized (Vectorize allocates a *vector.Sparse, ScoreInto
+// reads it) against streaming (VectorizeInto hands pooled entries
+// straight to ScoreEntriesInto), equality-checked per document first.
+func benchStreamingBatch(train, test []doctagger.CorpusDoc, seed int64) streamingRun {
+	pre := textproc.NewPreprocessor(nil, textproc.Options{Normalize: true})
+	var pdocs []protocol.Doc
+	for _, d := range train {
+		pdocs = append(pdocs, protocol.Doc{X: pre.Vectorize(d.Text), Tags: d.Tags})
+	}
+	bank := make(map[string]*svm.LinearModel)
+	for _, tag := range protocol.TagUniverse(pdocs) {
+		m, err := svm.TrainLinear(protocol.BinaryExamples(pdocs, tag), svm.LinearOptions{Seed: seed})
+		if err != nil {
+			continue
+		}
+		bank[tag] = m.Pruned(0.02)
+	}
+	fused := svm.NewFusedLinear(bank)
+	if fused == nil {
+		log.Fatal("streaming bench: no trainable tags")
+	}
+	docs := test
+	if len(docs) > 64 {
+		docs = docs[:64]
+	}
+
+	matBuf := make([]float64, len(fused.Tags()))
+	strBuf := make([]float64, len(fused.Tags())+8)
+	visit := func(entries []vector.Entry) { strBuf = fused.ScoreEntriesInto(entries, strBuf) }
+	for _, d := range docs {
+		matBuf = fused.ScoreInto(pre.Vectorize(d.Text), matBuf)
+		pre.VectorizeInto(d.Text, visit)
+		for i := range matBuf {
+			if matBuf[i] != strBuf[i] {
+				log.Fatal("streaming bench: streamed scores diverged from materialized")
+			}
+		}
+	}
+
+	mat := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		var sink float64
+		for i := 0; i < b.N; i++ {
+			matBuf = fused.ScoreInto(pre.Vectorize(docs[i%len(docs)].Text), matBuf)
+			sink += matBuf[0]
+		}
+		_ = sink
+	})
+	str := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		var sink float64
+		for i := 0; i < b.N; i++ {
+			pre.VectorizeInto(docs[i%len(docs)].Text, visit)
+			sink += strBuf[0]
+		}
+		_ = sink
+	})
+	mn := float64(mat.NsPerOp())
+	sn := float64(str.NsPerOp())
+	return streamingRun{
+		MaterializedNsPerOp:     mn,
+		MaterializedAllocsPerOp: float64(mat.AllocsPerOp()),
+		StreamingNsPerOp:        sn,
+		StreamingAllocsPerOp:    float64(str.AllocsPerOp()),
+		Speedup:                 mn / sn,
 	}
 }
 

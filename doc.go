@@ -172,11 +172,11 @@
 //     everything handed to callers is copied out.
 //   - Fused multi-tag scoring: each protocol packs its per-tag linear
 //     models into one svm.FusedLinear inverted score matrix (feature id ->
-//     per-tag weights; CSR cells for sparse pruned ensembles, dense rows
-//     for shared-pool banks), so scoring T tags is one ascending pass over
-//     the document's non-zero entries instead of T dot products. The
-//     matrix is immutable derived data, rebuilt wherever the bank changes
-//     (retraining, Refine, serving Swap/Refresh).
+//     per-tag weights; CSR cells for sparse pruned ensembles, dense or
+//     8-wide blocked rows for shared-pool banks), so scoring T tags is one
+//     ascending pass over the document's non-zero entries instead of T dot
+//     products. The matrix is immutable derived data, rebuilt wherever the
+//     bank changes (retraining, Refine, serving Swap/Refresh).
 //   - Cached kernel norms: RBF KernelModels precompute their support
 //     vectors' squared norms (KernelModel.Precompute, called at every
 //     construction site) and hoist the query norm, so each kernel
@@ -188,6 +188,29 @@
 // exact float64 bit patterns — so the fast path changes latency, never
 // answers. cmd/tagbench measures the trajectory (docs/sec, p50/p99,
 // allocs/op, fused-vs-per-tag scoring) and writes BENCH_tagging.json.
+//
+// # Streaming execution
+//
+// The local score path chains those stages with no materialized
+// intermediates: Preprocessor.VectorizeInto hands the pooled, sorted,
+// weighted entries directly to FusedLinear.ScoreEntriesInto, and
+// protocol.SelectTagsInto thresholds out of reused scratch, so a whole
+// AutoTag runs in at most two allocations (the returned tags) and
+// AutoTagBatch/serving.TagBatch stream documents with O(1) intermediate
+// state. Three contracts make it safe:
+//
+//   - Layout selection: NewFusedLinear keeps banks under 25% fill in CSR;
+//     denser banks with at least four tags use the blocked layout (rows
+//     zero-padded to multiples of eight, scored in register-resident
+//     accumulator blocks with bounds-check-free unrolled loops), scalar
+//     dense rows otherwise. NewFusedLinearLayout forces a layout.
+//   - Bit-identity: every layout accumulates each tag's partial sums over
+//     entries in ascending feature-id order and padding lanes only add
+//     v*0, so all three layouts reproduce per-tag Decision exactly.
+//   - Scratch lifetime: the entries VectorizeInto passes to its visitor
+//     (and the scores a protocol.StreamScorer hands its callback) live in
+//     pooled scratch, valid only until the visit returns — consume or
+//     copy, never retain. dmtvet/scratchescape enforces this mechanically.
 //
 // # Static analysis / invariants
 //

@@ -14,6 +14,7 @@ import (
 	"repro/internal/protocol"
 	"repro/internal/simnet"
 	"repro/internal/textproc"
+	"repro/internal/vector"
 )
 
 // Protocol names accepted by Config.Protocol.
@@ -142,6 +143,20 @@ type Tagger struct {
 	trained bool
 	staged  map[simnet.NodeID][]protocol.Doc
 	setDocs func(simnet.NodeID, []protocol.Doc)
+
+	// Streaming fast path, wired by New when the protocol answers local
+	// queries synchronously (protocol.StreamScorer with StreamsFrom(self)):
+	// documents flow from the pooled preprocessing workspace straight into
+	// fused scoring with no materialized *vector.Sparse. streamVisit and
+	// its callback are built once — per-query closures would escape to the
+	// heap on every call — and deposit each answer into the reused
+	// streamScores/streamOK pair, which the single-goroutine contract
+	// makes safe. selScratch is SelectTagsInto's reused sort buffer.
+	stream       protocol.StreamScorer
+	streamVisit  func([]vector.Entry)
+	streamScores []metrics.ScoredTag
+	streamOK     bool
+	selScratch   []metrics.ScoredTag
 }
 
 // ErrNotTrained is returned by Suggest/AutoTag before Train has run.
@@ -203,6 +218,18 @@ func New(cfg Config) (*Tagger, error) {
 		s.Parallel = cfg.Parallel
 		t.clf, t.refiner, t.setDocs = s, s, s.SetDocs
 	}
+	if ss, ok := t.clf.(protocol.StreamScorer); ok && ss.StreamsFrom(t.self) {
+		t.stream = ss
+		cb := func(sc []metrics.ScoredTag, ok bool) {
+			// The scores live in the protocol's reused scratch, valid only
+			// during the callback: copy into the tagger's own reused slice.
+			t.streamOK = ok
+			t.streamScores = append(t.streamScores[:0], sc...)
+		}
+		t.streamVisit = func(entries []vector.Entry) {
+			t.stream.PredictEntries(t.self, entries, cb)
+		}
+	}
 	return t, nil
 }
 
@@ -251,13 +278,16 @@ func (t *Tagger) Train() error {
 // run drives the simulated network to quiescence.
 func (t *Tagger) run() { t.net.Run(0) }
 
-// Suggest returns the suggestion cloud for a document: every known tag
-// with its confidence, highest first ("relevant tags will be shown in the
-// Suggestion Cloud panel ... tags with higher confidence will be in larger
-// font").
-func (t *Tagger) Suggest(text string) ([]Suggestion, error) {
-	if !t.trained {
-		return nil, ErrNotTrained
+// predictScores answers one local query, streaming when the protocol
+// supports it. The returned scores may live in reused scratch: consume
+// them before the next query.
+func (t *Tagger) predictScores(text string) ([]metrics.ScoredTag, bool) {
+	if t.stream != nil {
+		t.pre.VectorizeInto(text, t.streamVisit)
+		// Streaming protocols answer synchronously and send no traffic;
+		// run() is a no-op kept for engine-accounting symmetry.
+		t.run()
+		return t.streamScores, t.streamOK
 	}
 	x := t.pre.Vectorize(text)
 	var scores []metrics.ScoredTag
@@ -266,6 +296,18 @@ func (t *Tagger) Suggest(text string) ([]Suggestion, error) {
 		scores, answered = sc, ok
 	})
 	t.run()
+	return scores, answered
+}
+
+// Suggest returns the suggestion cloud for a document: every known tag
+// with its confidence, highest first ("relevant tags will be shown in the
+// Suggestion Cloud panel ... tags with higher confidence will be in larger
+// font").
+func (t *Tagger) Suggest(text string) ([]Suggestion, error) {
+	if !t.trained {
+		return nil, ErrNotTrained
+	}
+	scores, answered := t.predictScores(text)
 	if !answered {
 		return nil, ErrNoAnswer
 	}
@@ -289,27 +331,26 @@ func (t *Tagger) AutoTag(text string) ([]string, error) {
 	if !t.trained {
 		return nil, ErrNotTrained
 	}
-	x := t.pre.Vectorize(text)
-	var scores []metrics.ScoredTag
-	answered := false
-	t.clf.Predict(t.self, x, func(sc []metrics.ScoredTag, ok bool) {
-		scores, answered = sc, ok
-	})
-	t.run()
+	scores, answered := t.predictScores(text)
 	if !answered {
 		return nil, ErrNoAnswer
 	}
-	return protocol.SelectTags(scores, t.cfg.Threshold, t.cfg.MaxTags), nil
+	var tags []string
+	tags, t.selScratch = protocol.SelectTagsInto(nil, scores, t.selScratch, t.cfg.Threshold, t.cfg.MaxTags)
+	return tags, nil
 }
 
 // AutoTagBatch assigns tags to many documents in one pass and returns one
 // tag list per input text, in input order. It produces exactly what
 // calling AutoTag on each text in sequence would, but restructures the
-// work for throughput: term extraction fans out over all cores
-// (preprocessing is pure per-document CPU work; lexicon id assignment
-// stays serial in input order so feature ids are reproducible), and every
-// swarm query is issued before the simulated network runs once, instead
-// of draining the event queue per document.
+// work for throughput. Under a streaming protocol (local, PACE,
+// coordinator-origin centralized) each document flows through reused
+// scratch — pooled workspace to fused scores to selected tags — with no
+// intermediate vectors at all. Otherwise term extraction fans out over
+// all cores (preprocessing is pure per-document CPU work; lexicon id
+// assignment stays serial in input order so feature ids are
+// reproducible), and every swarm query is issued before the simulated
+// network runs once, instead of draining the event queue per document.
 //
 // Documents the swarm cannot answer get a nil tag list rather than
 // aborting the batch; the first such failure is reported as an
@@ -321,6 +362,34 @@ func (t *Tagger) AutoTag(text string) ([]string, error) {
 func (t *Tagger) AutoTagBatch(texts []string) ([][]string, error) {
 	if !t.trained {
 		return nil, ErrNotTrained
+	}
+	if t.stream != nil {
+		// Streaming protocols answer each query synchronously, so the
+		// batch flows one document at a time through the tagger's reused
+		// scratch — O(1) intermediate state instead of a materialized
+		// per-batch vector slice — and resolves each row immediately.
+		// Answers cannot depend on issue order (queries send no traffic
+		// and mutate no protocol state), so per-doc resolution produces
+		// exactly what issue-all-then-run would.
+		out := make([][]string, len(texts))
+		var firstErr error
+		for i, text := range texts {
+			t.pre.VectorizeInto(text, t.streamVisit)
+			if !t.streamOK {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("doctagger: document %d: %w", i, ErrNoAnswer)
+				}
+				continue
+			}
+			var tags []string
+			tags, t.selScratch = protocol.SelectTagsInto(nil, t.streamScores, t.selScratch, t.cfg.Threshold, t.cfg.MaxTags)
+			if tags == nil {
+				tags = []string{}
+			}
+			out[i] = tags
+		}
+		t.run()
+		return out, firstErr
 	}
 	vecs := t.pre.VectorizeBatch(texts, t.cfg.Parallel)
 	type answer struct {

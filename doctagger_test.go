@@ -1,9 +1,13 @@
 package doctagger
 
 import (
+	"sort"
 	"strings"
 	"sync"
 	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/protocol"
 )
 
 // corpusFor stages a small three-topic corpus across the swarm's peers.
@@ -193,6 +197,90 @@ func TestAutoTagBatchMatchesSerial(t *testing.T) {
 				t.Errorf("%s: doc %d: batch %v != serial %v", proto, i, got[i], want[i])
 			}
 		}
+	}
+}
+
+// TestStreamingMatchesMaterialized pins the streaming fast path — pooled
+// workspace straight into fused scoring, no intermediate vector — against
+// a manually materialized Vectorize+Predict+SelectTags reference on a
+// twin swarm, for every protocol that streams. Scores compare on exact
+// float64 equality: streaming must not change a single bit.
+func TestStreamingMatchesMaterialized(t *testing.T) {
+	queries := []string{
+		"a new album with a soft piano melody",
+		"booking a flight and a hotel for the island",
+		"a bread recipe with yeast and flour",
+		"",
+	}
+	for _, proto := range []string{ProtocolPACE, ProtocolCentralized, ProtocolLocal} {
+		build := func() *Tagger {
+			tg, err := New(Config{Protocol: proto, Peers: 4, Seed: 11})
+			if err != nil {
+				t.Fatal(err)
+			}
+			corpusFor(t, tg, 4)
+			if err := tg.Train(); err != nil {
+				t.Fatal(err)
+			}
+			return tg
+		}
+		streaming := build()
+		if streaming.stream == nil {
+			t.Fatalf("%s: streaming path not wired", proto)
+		}
+		ref := build()
+		for _, q := range queries {
+			gotSuggest, err := streaming.Suggest(q)
+			if err != nil {
+				t.Fatalf("%s: Suggest(%q): %v", proto, q, err)
+			}
+			gotTags, err := streaming.AutoTag(q)
+			if err != nil {
+				t.Fatalf("%s: AutoTag(%q): %v", proto, q, err)
+			}
+
+			// Materialized reference: the pre-streaming pipeline, by hand.
+			x := ref.pre.Vectorize(q)
+			var scores []metrics.ScoredTag
+			answered := false
+			ref.clf.Predict(ref.self, x, func(sc []metrics.ScoredTag, ok bool) {
+				scores = append([]metrics.ScoredTag(nil), sc...)
+				answered = ok
+			})
+			ref.run()
+			if !answered {
+				t.Fatalf("%s: reference swarm did not answer %q", proto, q)
+			}
+			wantTags := protocol.SelectTags(scores, ref.cfg.Threshold, ref.cfg.MaxTags)
+
+			if strings.Join(gotTags, ",") != strings.Join(wantTags, ",") {
+				t.Errorf("%s %q: streamed tags %v != materialized %v", proto, q, gotTags, wantTags)
+			}
+			sort.Slice(scores, func(i, j int) bool {
+				if scores[i].Score != scores[j].Score {
+					return scores[i].Score > scores[j].Score
+				}
+				return scores[i].Tag < scores[j].Tag
+			})
+			if len(gotSuggest) != len(scores) {
+				t.Fatalf("%s %q: %d streamed suggestions, %d materialized", proto, q, len(gotSuggest), len(scores))
+			}
+			for i := range gotSuggest {
+				if gotSuggest[i].Tag != scores[i].Tag || gotSuggest[i].Confidence != scores[i].Score {
+					t.Errorf("%s %q suggestion %d: streamed %+v != materialized %+v",
+						proto, q, i, gotSuggest[i], scores[i])
+				}
+			}
+		}
+	}
+	// CEMPaR routes queries over the swarm; it must stay on the
+	// materialized path.
+	tg, err := New(Config{Protocol: ProtocolCEMPaR, Peers: 4, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tg.stream != nil {
+		t.Error("CEMPaR wired a streaming path it cannot honor")
 	}
 }
 

@@ -52,6 +52,10 @@ type Centralized struct {
 	// or in Predict while the simulated clock is stopped.
 	fused    *svm.FusedLinear
 	scoreBuf []float64
+	// scored is PredictEntries' reused answer slice: the streaming
+	// contract says cb consumes it synchronously, so one buffer serves
+	// every coordinator-origin query.
+	scored []metrics.ScoredTag
 	// pending queries awaiting coordinator answers, bucketed by origin so
 	// an answer handled at its origin touches only that origin's bucket
 	// (required by the sharded simulator).
@@ -250,6 +254,46 @@ func (c *Centralized) Predict(from simnet.NodeID, x *vector.Sparse, cb func([]me
 	})
 }
 
+// StreamsFrom implements protocol.StreamScorer: only coordinator-origin
+// queries answer synchronously; everything else crosses the simulated
+// network and resolves when the caller drives it.
+func (c *Centralized) StreamsFrom(from simnet.NodeID) bool {
+	return from == c.cfg.Coordinator
+}
+
+// PredictEntries implements protocol.StreamScorer. Coordinator-origin
+// queries score straight off the borrowed entries into reused scratch
+// (scores handed to cb are valid only during the call); queries from any
+// other peer must outlive this call in a network payload, so the entries
+// are copied into a materialized vector and the query delegates to
+// Predict.
+func (c *Centralized) PredictEntries(from simnet.NodeID, entries []vector.Entry, cb func([]metrics.ScoredTag, bool)) {
+	if !c.net.Alive(from) || !c.net.Alive(c.cfg.Coordinator) {
+		cb(nil, false)
+		return
+	}
+	if from != c.cfg.Coordinator {
+		e := make([]vector.Entry, len(entries))
+		copy(e, entries)
+		x, err := vector.FromEntries(e)
+		if err != nil {
+			cb(nil, false)
+			return
+		}
+		c.Predict(from, x, cb)
+		return
+	}
+	c.retrainIfDirty()
+	c.scored = c.scored[:0]
+	if c.fused != nil {
+		c.scoreBuf = c.fused.ScoreEntriesInto(entries, c.scoreBuf)
+		for i, tag := range c.fused.Tags() {
+			c.scored = append(c.scored, metrics.ScoredTag{Tag: tag, Score: c.platt[tag].Prob(c.scoreBuf[i])})
+		}
+	}
+	cb(c.scored, true)
+}
+
 // Refine implements protocol.Refiner by uploading the corrected document.
 func (c *Centralized) Refine(peer simnet.NodeID, doc protocol.Doc) {
 	c.docs[peer] = append(c.docs[peer], doc)
@@ -290,6 +334,9 @@ type Local struct {
 	// buffer — Predict runs serially per System, like every protocol here.
 	fused    map[simnet.NodeID]*svm.FusedLinear
 	scoreBuf []float64
+	// scored is PredictEntries' reused answer slice (consumed
+	// synchronously by cb per the streaming contract).
+	scored []metrics.ScoredTag
 }
 
 // NewLocal registers no-op handlers for ids on net (so the same node set
@@ -378,6 +425,32 @@ func (l *Local) Predict(from simnet.NodeID, x *vector.Sparse, cb func([]metrics.
 		out = append(out, metrics.ScoredTag{Tag: tag, Score: platt[tag].Prob(l.scoreBuf[i])})
 	}
 	cb(out, true)
+}
+
+// StreamsFrom implements protocol.StreamScorer: Local answers every query
+// synchronously.
+func (l *Local) StreamsFrom(simnet.NodeID) bool { return true }
+
+// PredictEntries implements protocol.StreamScorer: Predict's exact
+// scores, computed straight off the borrowed entries into reused scratch.
+// The scores handed to cb are valid only during the call.
+func (l *Local) PredictEntries(from simnet.NodeID, entries []vector.Entry, cb func([]metrics.ScoredTag, bool)) {
+	if !l.net.Alive(from) {
+		cb(nil, false)
+		return
+	}
+	fu := l.fused[from]
+	if fu == nil {
+		cb(nil, false)
+		return
+	}
+	l.scoreBuf = fu.ScoreEntriesInto(entries, l.scoreBuf)
+	l.scored = l.scored[:0]
+	platt := l.platt[from]
+	for i, tag := range fu.Tags() {
+		l.scored = append(l.scored, metrics.ScoredTag{Tag: tag, Score: platt[tag].Prob(l.scoreBuf[i])})
+	}
+	cb(l.scored, true)
 }
 
 // Refine implements protocol.Refiner locally.

@@ -70,6 +70,100 @@ func TestCentralizedPredictFromCoordinator(t *testing.T) {
 	}
 }
 
+func setupLocal(t *testing.T, n int) (*simnet.Network, *Local) {
+	t.Helper()
+	net := simnet.New(simnet.Options{Latency: simnet.FixedLatency(time.Millisecond), Seed: 1})
+	ids := make([]simnet.NodeID, n)
+	for i := range ids {
+		ids[i] = simnet.NodeID(i)
+	}
+	l := NewLocal(net, ids, 1, 2)
+	for i := range ids {
+		var docs []protocol.Doc
+		for v := 0; v < 6; v++ {
+			docs = append(docs, topicDoc(i%3, v))
+		}
+		for v := 0; v < 3; v++ {
+			docs = append(docs, topicDoc((i+1)%3, v))
+		}
+		l.SetDocs(ids[i], docs)
+	}
+	return net, l
+}
+
+// TestPredictEntriesMatchesPredict pins the streaming entry point to the
+// materialized one for both baselines and both centralized origins: the
+// same query must score bit-identically through either path.
+func TestPredictEntriesMatchesPredict(t *testing.T) {
+	predict := func(clf protocol.Classifier, net *simnet.Network, from simnet.NodeID, x *vector.Sparse) ([]metrics.ScoredTag, bool) {
+		var scores []metrics.ScoredTag
+		ok := false
+		clf.Predict(from, x, func(sc []metrics.ScoredTag, o bool) {
+			scores = append([]metrics.ScoredTag(nil), sc...)
+			ok = o
+		})
+		net.RunFor(time.Minute)
+		return scores, ok
+	}
+	stream := func(ss protocol.StreamScorer, net *simnet.Network, from simnet.NodeID, x *vector.Sparse) ([]metrics.ScoredTag, bool) {
+		var scores []metrics.ScoredTag
+		ok := false
+		ss.PredictEntries(from, x.Entries(), func(sc []metrics.ScoredTag, o bool) {
+			scores = append([]metrics.ScoredTag(nil), sc...)
+			ok = o
+		})
+		net.RunFor(time.Minute)
+		return scores, ok
+	}
+	compare := func(t *testing.T, name string, got, want []metrics.ScoredTag, gotOK, wantOK bool) {
+		t.Helper()
+		if gotOK != wantOK {
+			t.Fatalf("%s: streaming ok=%v, materialized ok=%v", name, gotOK, wantOK)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("%s: %d streamed scores, %d materialized", name, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Errorf("%s score %d: streamed %+v != materialized %+v", name, i, got[i], want[i])
+			}
+		}
+	}
+
+	t.Run("centralized", func(t *testing.T) {
+		netA, a := setupCentral(t, 6)
+		a.Fit()
+		netA.RunFor(time.Minute)
+		netB, b := setupCentral(t, 6)
+		b.Fit()
+		netB.RunFor(time.Minute)
+		if !a.StreamsFrom(0) || a.StreamsFrom(3) {
+			t.Fatal("Centralized must stream only coordinator-origin queries")
+		}
+		for _, from := range []simnet.NodeID{0, 3} { // coordinator and remote origin
+			for topic := 0; topic < 3; topic++ {
+				x := topicDoc(topic, 1).X
+				want, wantOK := predict(a, netA, from, x)
+				got, gotOK := stream(b, netB, from, x)
+				compare(t, "centralized", got, want, gotOK, wantOK)
+			}
+		}
+	})
+	t.Run("local", func(t *testing.T) {
+		net, l := setupLocal(t, 6)
+		l.Fit()
+		if !l.StreamsFrom(2) {
+			t.Fatal("Local must stream every query")
+		}
+		for topic := 0; topic < 3; topic++ {
+			x := topicDoc(topic, 2).X
+			want, wantOK := predict(l, net, 2, x)
+			got, gotOK := stream(l, net, 2, x)
+			compare(t, "local", got, want, gotOK, wantOK)
+		}
+	})
+}
+
 func TestCentralizedSinglePointOfFailure(t *testing.T) {
 	net, c := setupCentral(t, 6)
 	c.Fit()

@@ -3,6 +3,7 @@ package lint
 import (
 	"go/ast"
 	"go/types"
+	"strings"
 
 	"repro/internal/lint/analysis"
 )
@@ -14,9 +15,10 @@ import (
 // type exists in the module.
 const fusedTypeName = "FusedLinear"
 
-// fusedConstructor is the only function allowed to write FusedLinear
-// fields: the rebuild-on-swap contract says every bank change constructs a
-// fresh matrix instead of patching the live one.
+// fusedConstructor prefixes the only functions allowed to write
+// FusedLinear fields (NewFusedLinear, NewFusedLinearLayout): the
+// rebuild-on-swap contract says every bank change constructs a fresh
+// matrix instead of patching the live one.
 const fusedConstructor = "NewFusedLinear"
 
 // FusedMut enforces the FusedLinear immutability contract: outside
@@ -37,7 +39,7 @@ func runFusedMut(pass *analysis.Pass) (any, error) {
 	for _, f := range pass.Files {
 		for _, decl := range f.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
-			if !ok || fd.Body == nil || fd.Name.Name == fusedConstructor {
+			if !ok || fd.Body == nil || strings.HasPrefix(fd.Name.Name, fusedConstructor) {
 				continue
 			}
 			checkFusedFunc(pass, fd)

@@ -20,9 +20,13 @@ import (
 // selections, index/slice expressions, slice conversions, appends onto a
 // tainted slice and composite literals embedding one. It reports tainted
 // values that escape via a return statement, a channel send, a write to a
-// package-level variable, or a write into a field of anything that is not
-// itself the workspace. Copying conversions (string(ws.arena)) and calls
-// (the callee gets its own diagnostic if it leaks) detach the taint.
+// package-level variable, a write into a field of anything that is not
+// itself the workspace, or an argument to a function VALUE (a callback
+// parameter, local or field — unlike a declared function, its body cannot
+// be checked here, so retention must be ruled out by contract: the
+// streaming visit callbacks carry a reasoned waiver). Copying conversions
+// (string(ws.arena)) and calls to declared functions (the callee gets its
+// own diagnostic if it leaks) detach the taint.
 var ScratchEscape = &analysis.Analyzer{
 	Name: "scratchescape",
 	Doc: "pooled scratch workspaces must not escape the borrowing call: no returning, " +
@@ -119,9 +123,49 @@ func checkScratchFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
 				}
 				checkScratchStore(pass, tainted, lhs)
 			}
+		case *ast.CallExpr:
+			// A declared function's body gets its own diagnostics, but a
+			// function VALUE (callback parameter, local func variable,
+			// func-typed field) is opaque here: it may stash the slice
+			// anywhere. Handing it pooled scratch is safe only under a
+			// documented consume-only contract, which a waiver records.
+			name := funcValueCallee(info, n)
+			if name == "" {
+				return true
+			}
+			for _, arg := range n.Args {
+				if scratchTainted(info, tainted, arg) {
+					pass.Reportf(arg.Pos(),
+						"pooled scratch passed to function value %s may be retained beyond the borrowing call; copy the bytes out, or waive with a documented consume-only contract", name)
+				}
+			}
 		}
 		return true
 	})
+}
+
+// funcValueCallee returns the display name of call's callee when it is a
+// func-typed variable — a callback parameter, a local func value or a
+// func-typed struct field — and "" for everything else: declared
+// functions and methods (*types.Func), builtins, and type conversions.
+func funcValueCallee(info *types.Info, call *ast.CallExpr) string {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return ""
+	}
+	obj, ok := info.Uses[id].(*types.Var)
+	if !ok {
+		return ""
+	}
+	if _, isFunc := obj.Type().Underlying().(*types.Signature); !isFunc {
+		return ""
+	}
+	return id.Name
 }
 
 // checkScratchStore reports stores of tainted values into locations that

@@ -83,3 +83,58 @@ func waivedReturn() []byte {
 	//dmtvet:allow scratchescape fixture pins that a reasoned waiver suppresses the diagnostic
 	return ws.arena
 }
+
+// --- function-value callback rule ---
+
+func consume(b []byte) int { return len(b) }
+
+func escapeViaCallbackParam(visit func([]byte)) {
+	ws := getWorkspace()
+	defer putWorkspace(ws)
+	visit(ws.arena) // want `pooled scratch passed to function value visit`
+}
+
+func escapeViaLocalFuncValue() {
+	ws := getWorkspace()
+	defer putWorkspace(ws)
+	sink := func(b []byte) { published = b }
+	sink(ws.arena) // want `pooled scratch passed to function value sink`
+}
+
+func okNamedFunctionCall() int {
+	ws := getWorkspace()
+	defer putWorkspace(ws)
+	// Declared functions are checked on their own; the call is not an
+	// escape at this site.
+	return consume(ws.arena)
+}
+
+func okCallbackGetsCopy(visit func([]byte)) {
+	ws := getWorkspace()
+	defer putWorkspace(ws)
+	visit(append([]byte(nil), ws.arena...)) // append detaches the taint
+}
+
+func waivedCallback(visit func([]byte)) {
+	ws := getWorkspace()
+	defer putWorkspace(ws)
+	//dmtvet:allow scratchescape visit is consume-only by documented contract
+	visit(ws.arena)
+}
+
+// --- pooled score scratch with a closure-capture escape ---
+
+type scoreScratch struct {
+	scores []float64
+}
+
+var scorePool = sync.Pool{New: func() any { return new(scoreScratch) }}
+
+func getScoreScratch() *scoreScratch { return scorePool.Get().(*scoreScratch) }
+
+var retained func() []float64
+
+func escapeViaClosureCapture() {
+	sc := getScoreScratch()
+	retained = func() []float64 { return sc.scores } // want `pooled scratch escapes the borrowing call via return`
+}

@@ -80,6 +80,38 @@ func TestPredictIsLocalAndCorrect(t *testing.T) {
 	}
 }
 
+// TestPredictEntriesMatchesPredict pins the streaming entry point to the
+// materialized one: identical scores, bit for bit, on every query.
+func TestPredictEntriesMatchesPredict(t *testing.T) {
+	net, s := build(t, 9, Config{TopK: 3, Seed: 2})
+	s.Fit()
+	net.RunFor(time.Minute)
+	if !s.StreamsFrom(4) {
+		t.Fatal("PACE must stream every query")
+	}
+	for topic := 0; topic < 3; topic++ {
+		q := topicDoc(topic, 2).X
+		var want, got []metrics.ScoredTag
+		wantOK, gotOK := false, false
+		s.Predict(4, q, func(sc []metrics.ScoredTag, o bool) { want, wantOK = sc, o })
+		s.PredictEntries(4, q.Entries(), func(sc []metrics.ScoredTag, o bool) {
+			got = append([]metrics.ScoredTag(nil), sc...)
+			gotOK = o
+		})
+		if wantOK != gotOK {
+			t.Fatalf("topic %d: streaming ok=%v, materialized ok=%v", topic, gotOK, wantOK)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("topic %d: %d streamed scores, %d materialized", topic, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Errorf("topic %d score %d: streamed %+v != materialized %+v", topic, i, got[i], want[i])
+			}
+		}
+	}
+}
+
 func TestPredictSurvivesMassFailure(t *testing.T) {
 	net, s := build(t, 9, Config{TopK: 3, Seed: 2})
 	s.Fit()

@@ -6,7 +6,9 @@ package protocol
 
 import (
 	"math"
+	"slices"
 	"sort"
+	"strings"
 
 	"repro/internal/metrics"
 	"repro/internal/simnet"
@@ -47,6 +49,25 @@ type Refiner interface {
 	Refine(peer simnet.NodeID, doc Doc)
 }
 
+// StreamScorer is implemented by protocols whose Predict can run over raw
+// sorted entries without a materialized *vector.Sparse — the streaming
+// fast path. PredictEntries has Predict's exact semantics (cb invoked
+// exactly once, same scores bit for bit), with a stricter borrow
+// contract: the entries slice is only valid for the duration of the call
+// (it typically lives in pooled preprocessing scratch), so an
+// implementation that must defer the answer — e.g. forward the query over
+// the network — copies the entries first. Likewise the scores slice
+// handed to cb may be reused scratch: cb must consume it synchronously.
+type StreamScorer interface {
+	// StreamsFrom reports whether PredictEntries answers synchronously
+	// (cb fires before it returns) for queries originating at from. Only
+	// then can a caller drive a whole batch through reused scratch with
+	// O(1) intermediate state; otherwise it falls back to materialized
+	// vectors that survive until the network delivers the answer.
+	StreamsFrom(from simnet.NodeID) bool
+	PredictEntries(from simnet.NodeID, entries []vector.Entry, cb func(scores []metrics.ScoredTag, ok bool))
+}
+
 // Sigmoid squashes an SVM decision value into a (0,1) confidence.
 func Sigmoid(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
 
@@ -55,26 +76,53 @@ func Sigmoid(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
 // single best tag (a document always receives at least one tag, as in the
 // demo UI). maxTags caps the result (0 = unlimited). Ties break by name.
 func SelectTags(scores []metrics.ScoredTag, threshold float64, maxTags int) []string {
-	s := append([]metrics.ScoredTag(nil), scores...)
-	sort.Slice(s, func(i, j int) bool {
-		if s[i].Score != s[j].Score {
-			return s[i].Score > s[j].Score
+	tags, _ := SelectTagsInto(nil, scores, nil, threshold, maxTags)
+	return tags
+}
+
+// SelectTagsInto is SelectTags with caller-owned storage, for the
+// streaming batch path: the selected tags append into dst[:0] and the
+// sort runs in scratch (grown as needed), so a tagging loop reusing both
+// allocates only when a document needs more room than any predecessor.
+// Returns the tags and the (possibly regrown) scratch. scores itself is
+// never reordered. Semantics are pinned to SelectTags: same ordering rule
+// (score desc, name asc — a total order, so the unstable sort is
+// deterministic), same fallback, same nil result for empty scores.
+func SelectTagsInto(dst []string, scores []metrics.ScoredTag, scratch []metrics.ScoredTag, threshold float64, maxTags int) ([]string, []metrics.ScoredTag) {
+	scratch = append(scratch[:0], scores...)
+	slices.SortFunc(scratch, func(a, b metrics.ScoredTag) int {
+		switch {
+		case a.Score > b.Score:
+			return -1
+		case a.Score < b.Score:
+			return 1
 		}
-		return s[i].Tag < s[j].Tag
+		return strings.Compare(a.Tag, b.Tag)
 	})
-	var out []string
-	for _, st := range s {
+	if cap(dst) == 0 && len(scratch) > 0 {
+		// One right-sized allocation instead of append's doubling walk.
+		n := len(scratch)
+		if maxTags > 0 && maxTags < n {
+			n = maxTags
+		}
+		dst = make([]string, 0, n)
+	}
+	out := dst[:0]
+	for _, st := range scratch {
 		if st.Score >= threshold {
+			if maxTags > 0 && len(out) == maxTags {
+				break
+			}
 			out = append(out, st.Tag)
 		}
 	}
-	if len(out) == 0 && len(s) > 0 {
-		out = []string{s[0].Tag}
+	if len(out) == 0 {
+		if len(scratch) == 0 {
+			return nil, scratch
+		}
+		out = append(out, scratch[0].Tag)
 	}
-	if maxTags > 0 && len(out) > maxTags {
-		out = out[:maxTags]
-	}
-	return out
+	return out, scratch
 }
 
 // BinaryExamples converts docs into one-against-all training examples for

@@ -6,6 +6,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/protocol"
 	"repro/internal/textproc"
+	"repro/internal/vector"
 )
 
 // Ensemble scores documents against one or more model sets with the same
@@ -25,7 +26,8 @@ type Ensemble struct {
 	sets      []*ModelSet
 	threshold float64
 	maxTags   int
-	dec       []float64 // fused-score scratch, reused across documents
+	dec       []float64           // fused-score scratch, reused across documents
+	sel       []metrics.ScoredTag // SelectTagsInto sort scratch, reused across documents
 }
 
 // NewEnsemble builds an engine over sets, assigning every tag scoring at
@@ -56,24 +58,31 @@ func NewEnsemble(threshold float64, maxTags int, sets ...*ModelSet) (*Ensemble, 
 }
 
 // Suggest returns the full suggestion cloud for one document, sorted by
-// descending score with name tie-breaks.
+// descending score with name tie-breaks. The document streams from the
+// pooled preprocessing workspace straight into fused scoring — no
+// intermediate *vector.Sparse is materialized.
 func (e *Ensemble) Suggest(text string) []metrics.ScoredTag {
-	x := e.pre.Vectorize(text)
 	var out []metrics.ScoredTag
-	out, e.dec = suggestFromSets(x, e.sets, e.dec)
+	e.pre.VectorizeInto(text, func(entries []vector.Entry) {
+		out, e.dec = suggestFromSets(entries, e.sets, e.dec)
+	})
 	return out
 }
 
 // AutoTagBatch implements the serving engine contract: one non-nil tag
 // list per input text, in input order. Every row is answerable (the sets
-// are fixed at construction), so the error is always nil.
+// are fixed at construction), so the error is always nil. Documents
+// stream one at a time through the Ensemble's reused scratch — the only
+// per-row state that survives an iteration is its answer.
 func (e *Ensemble) AutoTagBatch(texts []string) ([][]string, error) {
 	out := make([][]string, len(texts))
 	for i, text := range texts {
-		x := e.pre.Vectorize(text)
 		var scores []metrics.ScoredTag
-		scores, e.dec = suggestFromSets(x, e.sets, e.dec)
-		tags := protocol.SelectTags(scores, e.threshold, e.maxTags)
+		e.pre.VectorizeInto(text, func(entries []vector.Entry) {
+			scores, e.dec = suggestFromSets(entries, e.sets, e.dec)
+		})
+		var tags []string
+		tags, e.sel = protocol.SelectTagsInto(nil, scores, e.sel, e.threshold, e.maxTags)
 		if tags == nil {
 			tags = []string{}
 		}

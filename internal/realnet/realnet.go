@@ -477,14 +477,16 @@ func (n *Node) Suggest(text string) ([]metrics.ScoredTag, error) {
 	if len(sets) == 0 {
 		return nil, errors.New("realnet: no models known yet (publish or wait for peers)")
 	}
-	out, _ := suggestFromSets(x, sets, nil)
+	out, _ := suggestFromSets(x.Entries(), sets, nil)
 	return out, nil
 }
 
 // suggestFromSets pools per-tag probabilities across sets — accuracy over
-// chance as the weight, log-odds space for the vote. dec is scratch reused
-// across sets (and across calls, when the caller keeps it).
-func suggestFromSets(x *vector.Sparse, sets []*ModelSet, dec []float64) ([]metrics.ScoredTag, []float64) {
+// chance as the weight, log-odds space for the vote. entries is the
+// query's sorted sparse entries, read synchronously and never retained,
+// so streaming callers can pass pooled preprocessing scratch; dec is
+// scratch reused across sets (and across calls, when the caller keeps it).
+func suggestFromSets(entries []vector.Entry, sets []*ModelSet, dec []float64) ([]metrics.ScoredTag, []float64) {
 	logitSum := map[string]float64{}
 	weightSum := map[string]float64{}
 	for _, ms := range sets {
@@ -492,7 +494,7 @@ func suggestFromSets(x *vector.Sparse, sets []*ModelSet, dec []float64) ([]metri
 		if f == nil {
 			continue
 		}
-		dec = f.ScoreInto(x, dec)
+		dec = f.ScoreEntriesInto(entries, dec)
 		for i, tag := range f.Tags() {
 			w := ms.Accuracy[tag] - 0.5
 			if w <= 0 {

@@ -32,6 +32,38 @@ func TestFusedScoreIntoZeroAlloc(t *testing.T) {
 	}
 }
 
+// TestBlockedScoreIntoZeroAlloc: the blocked layout's streaming terminal
+// allocates nothing once the padded scratch has been grown, for every
+// entry point (ScoreInto and ScoreEntriesInto) and a tag count with a
+// zero-padded tail.
+func TestBlockedScoreIntoZeroAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	bank := make(map[string]*LinearModel, 12)
+	for i := 0; i < 12; i++ {
+		w := make([]float64, 512)
+		for j := range w {
+			w[j] = rng.NormFloat64()
+		}
+		bank[fmt.Sprintf("t%02d", i)] = &LinearModel{W: w, Bias: 0.1}
+	}
+	f := NewFusedLinearLayout(bank, LayoutBlocked)
+	if f.Layout() != LayoutBlocked {
+		t.Fatalf("layout %v, want blocked", f.Layout())
+	}
+	doc := randSparse(rng, 512, 40)
+	var buf []float64
+	buf = f.ScoreInto(doc, buf) // grow the padded scratch once
+	got := testing.AllocsPerRun(200, func() { buf = f.ScoreInto(doc, buf) })
+	if got > 0 {
+		t.Errorf("blocked ScoreInto: %.1f allocs/op, want 0", got)
+	}
+	entries := doc.Entries()
+	got = testing.AllocsPerRun(200, func() { buf = f.ScoreEntriesInto(entries, buf) })
+	if got > 0 {
+		t.Errorf("blocked ScoreEntriesInto: %.1f allocs/op, want 0", got)
+	}
+}
+
 // TestKernelDecisionZeroAlloc: the RBF decision with precomputed norms
 // allocates nothing per query.
 func TestKernelDecisionZeroAlloc(t *testing.T) {

@@ -40,23 +40,33 @@ func randBank(rng *rand.Rand, tags, dim int, fill float64) map[string]*LinearMod
 }
 
 // TestFusedScoresPinnedToDecision is the fused-scoring identity pin: for
-// random banks and documents, in both matrix layouts, ScoreInto must
-// equal per-tag Decision on exact float64 comparison — same accumulation
-// order, not a tolerance.
+// random banks and documents, under automatic layout selection, ScoreInto
+// must equal per-tag Decision on exact float64 comparison — same
+// accumulation order, not a tolerance — and the auto rule must pick the
+// expected layout for each bank shape.
 func TestFusedScoresPinnedToDecision(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
 	for trial := 0; trial < 25; trial++ {
 		fill := 0.05 // CSR layout
 		if trial%2 == 1 {
-			fill = 0.9 // dense-row layout
+			fill = 0.9 // dense: blocked at >= blockedMinTags tags, scalar rows below
 		}
-		bank := randBank(rng, 1+rng.Intn(24), 64+rng.Intn(192), fill)
+		nt := 1 + rng.Intn(24)
+		bank := randBank(rng, nt, 64+rng.Intn(192), fill)
 		f := NewFusedLinear(bank)
 		if f.NumTags() != len(bank) {
 			t.Fatalf("trial %d: %d fused tags for a %d-tag bank", trial, f.NumTags(), len(bank))
 		}
-		if wantDense := fill > 0.5; wantDense != (f.rows != nil) {
-			t.Fatalf("trial %d: fill %.2f chose rows=%v", trial, fill, f.rows != nil)
+		want := LayoutCSR
+		if fill > 0.5 {
+			if nt >= blockedMinTags {
+				want = LayoutBlocked
+			} else {
+				want = LayoutDense
+			}
+		}
+		if got := f.Layout(); got != want {
+			t.Fatalf("trial %d: fill %.2f tags %d chose layout %v, want %v", trial, fill, nt, got, want)
 		}
 		var buf []float64
 		for q := 0; q < 8; q++ {
@@ -68,6 +78,74 @@ func TestFusedScoresPinnedToDecision(t *testing.T) {
 					t.Fatalf("trial %d tag %s: fused %v != Decision %v (diff %g)",
 						trial, tag, buf[i], want, buf[i]-want)
 				}
+			}
+		}
+	}
+}
+
+// TestFusedLayoutsPinnedToDecision forces every layout over the same
+// randomized banks and pins each one bit-identical to per-tag Decision,
+// and the layouts to each other. Tag counts straddle the block-width
+// boundaries (1, 4, 7, 8, 9, 16, 23) to exercise zero-padded tails.
+func TestFusedLayoutsPinnedToDecision(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	layouts := []Layout{LayoutCSR, LayoutDense, LayoutBlocked}
+	for _, nt := range []int{1, 4, 7, 8, 9, 16, 23} {
+		for _, fill := range []float64{0.1, 0.5, 0.95} {
+			bank := randBank(rng, nt, 48+rng.Intn(160), fill)
+			fused := make([]*FusedLinear, len(layouts))
+			for i, l := range layouts {
+				fused[i] = NewFusedLinearLayout(bank, l)
+				if got := fused[i].Layout(); got != l {
+					t.Fatalf("tags %d fill %.2f: forced %v, built %v", nt, fill, l, got)
+				}
+			}
+			bufs := make([][]float64, len(layouts))
+			for q := 0; q < 6; q++ {
+				x := randSparse(rng, 280, 1+rng.Intn(50))
+				for i, f := range fused {
+					bufs[i] = f.ScoreInto(x, bufs[i])
+					if len(bufs[i]) != nt {
+						t.Fatalf("layout %v: %d scores for %d tags", layouts[i], len(bufs[i]), nt)
+					}
+				}
+				for ti, tag := range fused[0].Tags() {
+					want := bank[tag].Decision(x)
+					for i, l := range layouts {
+						if bufs[i][ti] != want {
+							t.Fatalf("tags %d fill %.2f layout %v tag %s: %v != Decision %v",
+								nt, fill, l, tag, bufs[i][ti], want)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestScoreEntriesIntoStreaming: the streaming terminal over raw entries
+// equals ScoreInto over the materialized vector, including entries beyond
+// every model's dimension and the empty document.
+func TestScoreEntriesIntoStreaming(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	bank := randBank(rng, 12, 128, 0.8)
+	for _, l := range []Layout{LayoutCSR, LayoutDense, LayoutBlocked} {
+		f := NewFusedLinearLayout(bank, l)
+		var a, b []float64
+		for q := 0; q < 10; q++ {
+			x := randSparse(rng, 400, 1+rng.Intn(60))
+			a = f.ScoreInto(x, a)
+			b = f.ScoreEntriesInto(x.Entries(), b)
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("layout %v: ScoreEntriesInto[%d]=%v != ScoreInto %v", l, i, b[i], a[i])
+				}
+			}
+		}
+		b = f.ScoreEntriesInto(nil, b)
+		for i, tag := range f.Tags() {
+			if want := bank[tag].Bias; b[i] != want {
+				t.Fatalf("layout %v empty doc tag %s: %v != bias %v", l, tag, b[i], want)
 			}
 		}
 	}
@@ -219,6 +297,38 @@ func BenchmarkFusedScoring(b *testing.B) {
 		b.Run(shape.name+"/fused", func(b *testing.B) {
 			b.ReportAllocs()
 			buf := make([]float64, tags)
+			var sink float64
+			for i := 0; i < b.N; i++ {
+				buf = f.ScoreInto(doc, buf)
+				sink += buf[0]
+			}
+			if math.IsNaN(sink) {
+				b.Fatal("nan")
+			}
+		})
+	}
+}
+
+// BenchmarkFusedLayouts scores the same dense bank through the scalar
+// dense rows and the 8-wide blocked layout — the head-to-head the blocked
+// layout exists for.
+func BenchmarkFusedLayouts(b *testing.B) {
+	rng := rand.New(rand.NewSource(21))
+	const tags, dim = 32, 4096
+	bank := make(map[string]*LinearModel, tags)
+	for t := 0; t < tags; t++ {
+		w := make([]float64, dim)
+		for i := range w {
+			w[i] = rng.NormFloat64()
+		}
+		bank[fmt.Sprintf("tag%02d", t)] = &LinearModel{W: w, Bias: rng.NormFloat64()}
+	}
+	doc := randSparse(rng, dim, 120)
+	for _, l := range []Layout{LayoutDense, LayoutBlocked} {
+		f := NewFusedLinearLayout(bank, l)
+		b.Run(l.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			buf := make([]float64, 0, tags+blockWidth)
 			var sink float64
 			for i := 0; i < b.N; i++ {
 				buf = f.ScoreInto(doc, buf)

@@ -357,26 +357,86 @@ func (p *Preprocessor) Vectorize(text string) *vector.Sparse {
 	return p.finishVector(ws)
 }
 
-// vectorizeTerms is the serial tail of VectorizeBatch: lexicon id
-// assignment, document-frequency bookkeeping, weighting and normalization
-// over terms extracted elsewhere.
-func (p *Preprocessor) vectorizeTerms(terms []string) *vector.Sparse {
+// VectorizeInto is the streaming terminal of the fast path: it vectorizes
+// text exactly like Vectorize but hands the finished entries to visit
+// instead of materializing a *vector.Sparse, so a pure local score path
+// (workspace -> FusedLinear.ScoreEntriesInto) runs with no per-document
+// vector allocation at all.
+//
+// Scratch-lifetime contract: the entries slice lives in pooled workspace
+// memory and is valid only for the duration of the visit call. visit must
+// consume it synchronously — score it, copy it — and must not retain the
+// slice, alias it, or hand it to anything that outlives the call. visit is
+// invoked exactly once, with an empty slice for an empty document. The
+// entries are sorted by ascending feature id with no duplicates, the same
+// invariant Vectorize's returned vector carries; document-frequency
+// statistics update exactly as in Vectorize.
+func (p *Preprocessor) VectorizeInto(text string, visit func(entries []vector.Entry)) {
+	ws := getWorkspace()
+	defer putWorkspace(ws)
+	ws.tokenize(text)
+	p.terms(ws)
+	ws.ids = ws.ids[:0]
+	for _, sp := range ws.spans {
+		ws.ids = append(ws.ids, p.featureIDBytes(ws.arena[sp.start:sp.end]))
+	}
+	if !p.weigh(ws) {
+		// Degenerate zero-norm document: present it as empty, matching the
+		// vector.Zero() that Vectorize returns.
+		ws.entries = ws.entries[:0]
+	}
+	//dmtvet:allow scratchescape visit is consume-only by documented contract; the entries slice is scored or copied before the call returns
+	visit(ws.entries)
+}
+
+// termsPacked runs the parallel phase of VectorizeBatch on a pooled
+// workspace and copies the surviving stems into one compact arena with
+// n+1 offsets delimiting the terms. The copy detaches the result from the
+// workspace (which goes back to the pool) and is the only per-document
+// allocation of the phase — two slices instead of one string per term.
+func (p *Preprocessor) termsPacked(text string) ([]byte, []int32) {
+	ws := getWorkspace()
+	defer putWorkspace(ws)
+	ws.tokenize(text)
+	p.terms(ws)
+	if len(ws.spans) == 0 {
+		return nil, nil
+	}
+	size := 0
+	for _, sp := range ws.spans {
+		size += sp.end - sp.start
+	}
+	arena := make([]byte, 0, size)
+	offs := make([]int32, 1, len(ws.spans)+1)
+	for _, sp := range ws.spans {
+		arena = append(arena, ws.arena[sp.start:sp.end]...)
+		offs = append(offs, int32(len(arena)))
+	}
+	return arena, offs
+}
+
+// vectorizeTermBytes is the serial tail of VectorizeBatch: feature id
+// assignment over a packed term arena (the byte path — interned terms
+// allocate nothing), then document-frequency bookkeeping, weighting and
+// normalization.
+func (p *Preprocessor) vectorizeTermBytes(arena []byte, offs []int32) *vector.Sparse {
 	ws := getWorkspace()
 	defer putWorkspace(ws)
 	ws.ids = ws.ids[:0]
-	for _, t := range terms {
-		ws.ids = append(ws.ids, p.featureID(t))
+	for i := 0; i+1 < len(offs); i++ {
+		ws.ids = append(ws.ids, p.featureIDBytes(arena[offs[i]:offs[i+1]]))
 	}
 	return p.finishVector(ws)
 }
 
-// finishVector turns the feature ids in ws.ids into the final sparse
-// vector: sort-then-accumulate term counts (replacing the historical
+// weigh turns the feature ids in ws.ids into the final weighted entries in
+// ws.entries: sort-then-accumulate term counts (replacing the historical
 // map[int32]float64 + FromMap sort — identical output, since duplicate ids
 // become exact integer counts either way and entries emerge in ascending
 // id order), document-frequency bookkeeping, weighting, normalization.
-// Only the returned vector's entry slice is freshly allocated.
-func (p *Preprocessor) finishVector(ws *workspace) *vector.Sparse {
+// Returns false in the degenerate Normalize case (zero norm), where the
+// caller must present the document as the zero vector.
+func (p *Preprocessor) weigh(ws *workspace) bool {
 	slices.Sort(ws.ids)
 	ws.entries = ws.entries[:0]
 	for i := 0; i < len(ws.ids); {
@@ -388,6 +448,12 @@ func (p *Preprocessor) finishVector(ws *workspace) *vector.Sparse {
 		i = j
 	}
 
+	// Document-frequency bookkeeping holds p.mu only long enough to bump
+	// the counters and snapshot the raw df values; the weighting math runs
+	// outside so concurrent shards stop serializing on the mutex. The
+	// deferred math is bit-identical to computing it under the lock:
+	// float64(1+df) == 1+float64(df) for any df below 2^52, so the Log
+	// sees the same operands either way.
 	p.mu.Lock()
 	p.docCount++
 	for _, e := range ws.entries {
@@ -397,7 +463,7 @@ func (p *Preprocessor) finishVector(ws *workspace) *vector.Sparse {
 	if weighting == TFIDF {
 		ws.idf = ws.idf[:0]
 		for _, e := range ws.entries {
-			ws.idf = append(ws.idf, math.Log(float64(1+docCount)/float64(1+p.docFreq[e.Index])))
+			ws.idf = append(ws.idf, float64(p.docFreq[e.Index]))
 		}
 	}
 	p.mu.Unlock()
@@ -410,9 +476,11 @@ func (p *Preprocessor) finishVector(ws *workspace) *vector.Sparse {
 	case TFIDF:
 		// An idf of 0 (term in every document) zeroes the weight; drop
 		// such entries exactly as FromMap dropped explicit zeros.
+		numer := float64(1 + docCount)
 		kept := ws.entries[:0]
 		for i := range ws.entries {
-			if v := ws.entries[i].Value * ws.idf[i]; v != 0 {
+			idf := math.Log(numer / (1 + ws.idf[i]))
+			if v := ws.entries[i].Value * idf; v != 0 {
 				kept = append(kept, vector.Entry{Index: ws.entries[i].Index, Value: v})
 			}
 		}
@@ -426,12 +494,21 @@ func (p *Preprocessor) finishVector(ws *workspace) *vector.Sparse {
 		}
 		n := math.Sqrt(sum)
 		if n == 0 {
-			return vector.Zero()
+			return false
 		}
 		inv := 1 / n
 		for i := range ws.entries {
 			ws.entries[i].Value *= inv
 		}
+	}
+	return true
+}
+
+// finishVector materializes ws's weighted entries as a fresh sparse
+// vector; only the returned vector's entry slice is allocated.
+func (p *Preprocessor) finishVector(ws *workspace) *vector.Sparse {
+	if !p.weigh(ws) {
+		return vector.Zero()
 	}
 	out := make([]vector.Entry, len(ws.entries))
 	copy(out, ws.entries)
@@ -484,21 +561,33 @@ func (p *Preprocessor) VectorizeAll(texts []string) []*vector.Sparse {
 	return p.VectorizeBatch(texts, 1)
 }
 
+// packedTerms carries one document's filtered, stemmed terms between the
+// parallel and serial phases of VectorizeBatch: term i is
+// arena[offs[i]:offs[i+1]].
+type packedTerms struct {
+	arena []byte
+	offs  []int32
+}
+
 // VectorizeBatch vectorizes texts with the term-extraction stage
 // (tokenize, filter, stem — the bulk of preprocessing cost) fanned out
 // over parallel workers (see runner.Workers for the convention), while
-// lexicon id assignment and document-frequency updates run serially in
-// input order. The returned vectors are identical to calling Vectorize on
-// each text in order, at any worker count: term extraction is a pure
-// function of the text, and everything order-sensitive (new-word id
-// assignment, docFreq/IDF accumulation) stays sequential.
+// feature id assignment and document-frequency updates run serially in
+// input order. Terms travel between the phases as packed byte arenas, so
+// the serial tail rides the same byte-path feature ids as the single-doc
+// fast path and the hand-off costs two slices per document instead of one
+// string per term. The returned vectors are identical to calling
+// Vectorize on each text in order, at any worker count: term extraction
+// is a pure function of the text, and everything order-sensitive
+// (new-word id assignment, docFreq/IDF accumulation) stays sequential.
 func (p *Preprocessor) VectorizeBatch(texts []string, parallel int) []*vector.Sparse {
-	terms, _ := runner.Map(len(texts), parallel, func(i int) ([]string, error) {
-		return p.Terms(texts[i]), nil
+	packed, _ := runner.Map(len(texts), parallel, func(i int) (packedTerms, error) {
+		arena, offs := p.termsPacked(texts[i])
+		return packedTerms{arena: arena, offs: offs}, nil
 	})
 	out := make([]*vector.Sparse, len(texts))
 	for i := range texts {
-		out[i] = p.vectorizeTerms(terms[i])
+		out[i] = p.vectorizeTermBytes(packed[i].arena, packed[i].offs)
 	}
 	return out
 }

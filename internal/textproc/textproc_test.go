@@ -314,6 +314,61 @@ func TestVectorizeBatchMatchesSerial(t *testing.T) {
 	}
 }
 
+// TestVectorizeIntoMatchesVectorize pins the streaming terminal to the
+// materialized path: for every weighting scheme, VectorizeInto must
+// present byte-identical entries to what Vectorize returns for the same
+// document at the same point in the df history — including the df/idf
+// evolution across a corpus, checked on twin preprocessors fed the same
+// texts in the same order.
+func TestVectorizeIntoMatchesVectorize(t *testing.T) {
+	texts := []string{
+		"whales swim across the deep ocean",
+		"the ship sailed the ocean at night",
+		"a night train crossed the old bridge",
+		"", // empty document: visit must still fire, with no entries
+		"bridges and ships need steel and rivets",
+		"deep learning has nothing to do with whales",
+	}
+	for _, mode := range []struct {
+		name string
+		opts Options
+	}{
+		{"tf", Options{Normalize: true}},
+		{"logtf", Options{Weighting: LogTF, Normalize: true}},
+		{"tfidf", Options{Weighting: TFIDF, Normalize: true}},
+		{"tfidf/raw", Options{Weighting: TFIDF}},
+		{"hashed", Options{Normalize: true, HashDim: 1 << 12}},
+	} {
+		t.Run(mode.name, func(t *testing.T) {
+			mat := NewPreprocessor(nil, mode.opts)
+			str := NewPreprocessor(nil, mode.opts)
+			for i, txt := range texts {
+				want := mat.Vectorize(txt)
+				visited := false
+				str.VectorizeInto(txt, func(entries []vector.Entry) {
+					visited = true
+					we := want.Entries()
+					if len(entries) != len(we) {
+						t.Fatalf("doc %d: %d streamed entries, want %d", i, len(entries), len(we))
+					}
+					for k := range entries {
+						if entries[k] != we[k] {
+							t.Fatalf("doc %d entry %d: streamed %+v, materialized %+v",
+								i, k, entries[k], we[k])
+						}
+					}
+				})
+				if !visited {
+					t.Fatalf("doc %d: visit not called", i)
+				}
+			}
+			if mat.Lexicon().Size() != str.Lexicon().Size() {
+				t.Errorf("lexicon diverged: %d != %d", mat.Lexicon().Size(), str.Lexicon().Size())
+			}
+		})
+	}
+}
+
 func TestTopTerms(t *testing.T) {
 	p := NewPreprocessor(nil, Options{})
 	v := p.Vectorize("whale whale whale ocean ocean ship")

@@ -70,6 +70,14 @@ func FromEntries(entries []Entry) (*Sparse, error) {
 // Zero returns an empty sparse vector.
 func Zero() *Sparse { return &Sparse{} }
 
+// Borrow wraps entries — already sorted by ascending index with no
+// duplicates, which is NOT validated — as a Sparse value without copying.
+// It exists for the streaming score path, where entries live in pooled
+// scratch: the view (and anything aliasing it) must not outlive the
+// entries it borrows, so it is returned by value for callers to place on
+// their own stack and never retain.
+func Borrow(entries []Entry) Sparse { return Sparse{entries: entries} }
+
 // Len reports the number of stored (non-zero) entries.
 func (s *Sparse) Len() int { return len(s.entries) }
 
