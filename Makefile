@@ -17,7 +17,10 @@ vet:
 	go vet ./...
 
 # dmtvet: the repo's custom determinism/safety analyzers (internal/lint),
-# a required CI step. Run it the same way CI does.
+# a required CI step. Run it the same way CI does. Repeat runs are cheap:
+# dmtvet caches its diagnostics keyed on the analyzer set, source file
+# hashes and dependency export data, so an unchanged tree replays
+# instantly (-nocache opts out).
 lint:
 	go run ./cmd/dmtvet ./...
 

@@ -99,6 +99,7 @@ func (a *app) installGeneration(gen realnet.Generation) error {
 		}
 		engines[i] = e
 	}
+	//dmtvet:allow lockdiscipline genMu serializes gossip-driven generation installs; holding it across the drain is what makes installs ordered
 	if err := a.pool.SwapEngines(engines...); err != nil {
 		return err
 	}

@@ -216,29 +216,49 @@
 //
 // The contracts above are not just prose: cmd/dmtvet (internal/lint) is a
 // suite of custom analyzers — built on internal/lint/analysis, an
-// offline, API-compatible stand-in for golang.org/x/tools/go/analysis —
-// that enforces them at vet time, as a required CI step next to go vet:
+// offline, API-compatible stand-in for golang.org/x/tools/go/analysis
+// grown into a flow-aware interprocedural engine (intra-module call graph
+// plus deterministic per-function summaries, so facts cross call
+// boundaries) — that enforces them at vet time, as a required CI step
+// next to go vet:
 //
 //   - detrand: no wall-clock reads (time.Now/Since/Until), global
 //     math/rand draws, or rand generators whose seed does not flow from
 //     runner.DeriveSeed or a Config/Options seed field, inside the
 //     deterministic packages (simnet, p2pdmt, cempar, pace, baseline,
-//     experiments, textproc, svm, runner and the simulation substrate).
+//     experiments, textproc, svm, runner and the simulation substrate) —
+//     including nondeterminism smuggled in through helpers elsewhere in
+//     the module.
 //   - maprange: no order-dependent reductions over map iteration (float
 //     accumulation, string concatenation, unsorted appends) — the latent
 //     MacroF1 bug class fixed by hand in PR 1.
 //   - scratchescape: pooled scratch workspaces must not escape the
-//     borrowing call (the preprocessing contract above).
+//     borrowing call (the preprocessing contract above), even through a
+//     helper that returns or retains its parameter.
 //   - enginerules: node event handlers must not call serial-point engine
 //     APIs (AddNode/RemoveNode/Kill/Revive/ScheduleSystem) or the setup
 //     stream Rand — the PDES discipline, previously a runtime panic, as a
 //     compile-time diagnostic.
 //   - fusedmut: svm.FusedLinear is immutable outside NewFusedLinear (the
-//     rebuild-on-swap contract above).
+//     rebuild-on-swap contract above), even when its backing memory is
+//     handed to a helper that mutates its parameter.
+//   - lockdiscipline: no blocking operation (channel op, select,
+//     WaitGroup.Wait, sleep, network/file I/O — directly or through a
+//     callee whose summary blocks) while a mutex is held, no lock-order
+//     inversions against the program-wide observed acquisition order, no
+//     re-acquiring a held lock class, no copying values containing sync
+//     primitives.
+//   - goroleak: every spawned goroutine has a join or cancel path (a
+//     channel op, select, close, WaitGroup.Done, or context-done) so
+//     Close/drain can wait for it — the drain contracts above.
+//   - waiverstale: a waiver comment that no longer suppresses anything is
+//     itself a diagnostic, so suppressions stay honest.
 //
 // Run `go run ./cmd/dmtvet ./...` (or `make lint`) locally — identical to
-// CI. Surgical exceptions use a mandatory-reason waiver comment on or
-// directly above the offending line:
+// CI (runs are content-hash cached; -nocache opts out, -json and
+// -diff <ref> serve machine consumers and review workflows). Surgical
+// exceptions use a mandatory-reason waiver comment on or directly above
+// the offending line:
 //
 //	//dmtvet:allow <analyzer> <reason>
 package doctagger

@@ -37,6 +37,12 @@ type Analyzer struct {
 	// unused today (the x/tools API reserves it for inter-analyzer
 	// facts) and may be nil.
 	Run func(*Pass) (any, error)
+
+	// AuditWaivers marks the analyzer whose diagnostics the runner
+	// produces itself: when it is in the run set, every waiver that
+	// suppressed nothing in the same run is reported under this
+	// analyzer's name, so dead waivers cannot rot in place.
+	AuditWaivers bool
 }
 
 // Pass is the interface between one analyzer and one package.
@@ -46,6 +52,11 @@ type Pass struct {
 	Files     []*ast.File
 	Pkg       *types.Package
 	TypesInfo *types.Info
+
+	// Prog is the whole-program view: call graph and per-function
+	// summaries over every package in the run, so analyzers can follow
+	// facts across call boundaries. Always non-nil under RunPackage.
+	Prog *Program
 
 	// Report delivers one diagnostic. The runner installs a hook that
 	// applies waiver comments before recording it.

@@ -1,0 +1,131 @@
+package analysis
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// The diagnostic cache makes `make lint` O(changed bytes) instead of
+// O(analyzer count): a run is keyed by a hash of the analyzer set, every
+// matched package's source bytes, and the export-data file paths of every
+// dependency (which live in the go build cache and are content-addressed,
+// so a path doubles as a version). Any edit, toolchain bump or analyzer
+// change misses; an identical tree replays the stored diagnostics without
+// parsing or type-checking a single file.
+//
+// The cache is deliberately all-or-nothing per (module, pattern set):
+// lockdiscipline's lock-order table is whole-program, so a diagnostic in
+// package A can depend on code in package B that A does not import —
+// per-package invalidation would be unsound.
+
+// cacheSchema is bumped whenever the runner's diagnostic semantics change
+// in a way the analyzer names/docs do not capture.
+const cacheSchema = "dmtvet-cache-v1"
+
+// cacheKey hashes everything a run's output can depend on.
+func cacheKey(moduleDir string, analyzers []*Analyzer, listed []*listPackage) string {
+	h := sha256.New()
+	fmt.Fprintln(h, cacheSchema)
+	for _, a := range analyzers {
+		fmt.Fprintf(h, "analyzer %s %q %v\n", a.Name, a.Doc, a.AuditWaivers)
+	}
+	sorted := make([]*listPackage, len(listed))
+	copy(sorted, listed)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].ImportPath < sorted[j].ImportPath })
+	for _, lp := range sorted {
+		if lp.DepOnly || lp.Standard || len(lp.GoFiles) == 0 {
+			// Dependency: its compiled export data stands in for its
+			// content (the build cache path is content-addressed).
+			fmt.Fprintf(h, "dep %s %s\n", lp.ImportPath, lp.Export)
+			continue
+		}
+		fmt.Fprintf(h, "pkg %s\n", lp.ImportPath)
+		for _, gf := range lp.GoFiles {
+			data, err := os.ReadFile(filepath.Join(lp.Dir, gf))
+			if err != nil {
+				fmt.Fprintf(h, "file %s unreadable %v\n", gf, err)
+				continue
+			}
+			sum := sha256.Sum256(data)
+			fmt.Fprintf(h, "file %s %x\n", gf, sum)
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// cachedDiag is the serialized form of one diagnostic; File is stored
+// relative to the module root so the cache survives a checkout move.
+type cachedDiag struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+	Waived   bool   `json:"waived"`
+}
+
+type cacheFile struct {
+	Key   string       `json:"key"`
+	Diags []cachedDiag `json:"diags"`
+}
+
+// cachePath keeps one entry per module: re-running after an edit
+// overwrites rather than accumulating stale entries.
+func cachePath(cacheDir, moduleDir string) string {
+	sum := sha256.Sum256([]byte(moduleDir))
+	return filepath.Join(cacheDir, "diags-"+hex.EncodeToString(sum[:8])+".json")
+}
+
+func loadCachedDiags(cacheDir, moduleDir, key string) ([]ResultDiagnostic, bool) {
+	data, err := os.ReadFile(cachePath(cacheDir, moduleDir))
+	if err != nil {
+		return nil, false
+	}
+	var cf cacheFile
+	if json.Unmarshal(data, &cf) != nil || cf.Key != key {
+		return nil, false
+	}
+	diags := make([]ResultDiagnostic, len(cf.Diags))
+	for i, d := range cf.Diags {
+		diags[i] = ResultDiagnostic{
+			Analyzer: d.Analyzer,
+			File:     filepath.Join(moduleDir, d.File),
+			Line:     d.Line, Col: d.Col,
+			Message: d.Message,
+			Waived:  d.Waived,
+		}
+	}
+	return diags, true
+}
+
+// saveCachedDiags writes the cache entry; failures are silent — the cache
+// is an accelerator, never a correctness dependency.
+func saveCachedDiags(cacheDir, moduleDir, key string, diags []ResultDiagnostic) {
+	if os.MkdirAll(cacheDir, 0o755) != nil {
+		return
+	}
+	cf := cacheFile{Key: key, Diags: make([]cachedDiag, len(diags))}
+	for i, d := range diags {
+		cf.Diags[i] = cachedDiag{
+			Analyzer: d.Analyzer,
+			File:     RelPath(moduleDir, d.File),
+			Line:     d.Line, Col: d.Col,
+			Message: d.Message,
+			Waived:  d.Waived,
+		}
+	}
+	data, err := json.Marshal(cf)
+	if err != nil {
+		return
+	}
+	tmp := cachePath(cacheDir, moduleDir) + ".tmp"
+	if os.WriteFile(tmp, data, 0o644) != nil {
+		return
+	}
+	_ = os.Rename(tmp, cachePath(cacheDir, moduleDir))
+}

@@ -157,6 +157,12 @@ func Load(fset *token.FileSet, moduleDir string, patterns []string) ([]*Package,
 	if err != nil {
 		return nil, err
 	}
+	return checkListed(e, fset, listed)
+}
+
+// checkListed type-checks the matched (non-dependency) entries of a go
+// list result.
+func checkListed(e *Exports, fset *token.FileSet, listed []*listPackage) ([]*Package, error) {
 	var out []*Package
 	for _, lp := range listed {
 		if lp.DepOnly || lp.Standard || len(lp.GoFiles) == 0 {

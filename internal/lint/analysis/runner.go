@@ -17,18 +17,42 @@ import (
 // on the line directly below it (so the waiver can ride at the end of the
 // offending line or on its own line above). The reason is mandatory: a
 // waiver without one — or naming an unknown analyzer — is itself reported
-// as a diagnostic, so suppressions stay auditable.
+// as a diagnostic, so suppressions stay auditable. A well-formed waiver
+// that suppresses nothing is reported too when the waiverstale audit is in
+// the run set.
 const WaiverPrefix = "//dmtvet:allow"
 
 // driverName attributes diagnostics produced by the runner itself
 // (malformed waivers) rather than by an analyzer.
 const driverName = "dmtvet"
 
-// ResultDiagnostic is one finding attributed to its analyzer.
+// extraKnown holds analyzer names waiver comments may legally reference
+// beyond the current run set, so `dmtvet -run detrand` does not flag a
+// scratchescape waiver as "unknown analyzer". The lint package registers
+// its full registry at init.
+var extraKnown = map[string]bool{}
+
+// RegisterWaiverNames marks names as legal in //dmtvet:allow comments
+// even when the named analyzer is not in the run set.
+func RegisterWaiverNames(names ...string) {
+	for _, n := range names {
+		extraKnown[n] = true
+	}
+}
+
+// ResultDiagnostic is one finding attributed to its analyzer. Waived
+// findings are retained (with Waived set) so machine consumers can see
+// them; the text printers skip them. File/Line/Col duplicate Pos so that
+// diagnostics replayed from the cache — where no FileSet exists — still
+// carry positions.
 type ResultDiagnostic struct {
 	Analyzer string
 	Pos      token.Pos
+	File     string
+	Line     int
+	Col      int
 	Message  string
+	Waived   bool
 }
 
 // waiverKey identifies one suppression: an analyzer name and a line it
@@ -39,10 +63,21 @@ type waiverKey struct {
 	analyzer string
 }
 
+// waiverRec is one well-formed waiver comment; used flips when it
+// suppresses a diagnostic, and the stale audit reports the ones left
+// false at the end of a run.
+type waiverRec struct {
+	pos      token.Pos
+	analyzer string
+	used     bool
+}
+
 // scanWaivers collects the waiver table for a package and reports
-// malformed waiver comments. known maps valid analyzer names.
-func scanWaivers(fset *token.FileSet, pkg *Package, known map[string]bool) (map[waiverKey]bool, []ResultDiagnostic) {
-	waived := make(map[waiverKey]bool)
+// malformed waiver comments. known maps valid analyzer names. The second
+// result preserves source order for the stale audit.
+func scanWaivers(fset *token.FileSet, pkg *Package, known map[string]bool) (map[waiverKey]*waiverRec, []*waiverRec, []ResultDiagnostic) {
+	waived := make(map[waiverKey]*waiverRec)
+	var recs []*waiverRec
 	var diags []ResultDiagnostic
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
@@ -54,39 +89,52 @@ func scanWaivers(fset *token.FileSet, pkg *Package, known map[string]bool) (map[
 				fields := strings.Fields(rest)
 				switch {
 				case len(fields) == 0:
-					diags = append(diags, ResultDiagnostic{
-						Analyzer: driverName, Pos: c.Pos(),
-						Message: "malformed waiver: missing analyzer name and reason (want //dmtvet:allow <analyzer> <reason>)",
-					})
-				case !known[fields[0]]:
-					diags = append(diags, ResultDiagnostic{
-						Analyzer: driverName, Pos: c.Pos(),
-						Message: fmt.Sprintf("malformed waiver: unknown analyzer %q", fields[0]),
-					})
+					diags = append(diags, driverDiag(fset, c.Pos(),
+						"malformed waiver: missing analyzer name and reason (want //dmtvet:allow <analyzer> <reason>)"))
+				case !known[fields[0]] && !extraKnown[fields[0]]:
+					diags = append(diags, driverDiag(fset, c.Pos(),
+						fmt.Sprintf("malformed waiver: unknown analyzer %q", fields[0])))
 				case len(fields) < 2:
-					diags = append(diags, ResultDiagnostic{
-						Analyzer: driverName, Pos: c.Pos(),
-						Message: fmt.Sprintf("malformed waiver: %s waiver needs a reason", fields[0]),
-					})
+					diags = append(diags, driverDiag(fset, c.Pos(),
+						fmt.Sprintf("malformed waiver: %s waiver needs a reason", fields[0])))
 				default:
+					rec := &waiverRec{pos: c.Pos(), analyzer: fields[0]}
+					recs = append(recs, rec)
 					p := fset.Position(c.Pos())
-					waived[waiverKey{p.Filename, p.Line, fields[0]}] = true
+					waived[waiverKey{p.Filename, p.Line, fields[0]}] = rec
+					waived[waiverKey{p.Filename, p.Line + 1, fields[0]}] = rec
 				}
 			}
 		}
 	}
-	return waived, diags
+	return waived, recs, diags
 }
 
-// RunPackage applies every analyzer to pkg, filters findings through the
-// package's waiver comments, and returns the surviving diagnostics sorted
-// by position.
-func RunPackage(fset *token.FileSet, pkg *Package, analyzers []*Analyzer) ([]ResultDiagnostic, error) {
+func driverDiag(fset *token.FileSet, pos token.Pos, msg string) ResultDiagnostic {
+	p := fset.Position(pos)
+	return ResultDiagnostic{
+		Analyzer: driverName, Pos: pos,
+		File: p.Filename, Line: p.Line, Col: p.Column,
+		Message: msg,
+	}
+}
+
+// RunPackage applies every analyzer to pkg within prog, marks findings
+// suppressed by the package's waiver comments as Waived, and returns all
+// diagnostics sorted by position. When the run set includes the waiver
+// audit, well-formed waivers that suppressed nothing become diagnostics
+// under the auditing analyzer's name.
+func RunPackage(prog *Program, pkg *Package, analyzers []*Analyzer) ([]ResultDiagnostic, error) {
+	fset := prog.Fset
 	known := make(map[string]bool, len(analyzers))
+	auditName := ""
 	for _, a := range analyzers {
 		known[a.Name] = true
+		if a.AuditWaivers {
+			auditName = a.Name
+		}
 	}
-	waived, diags := scanWaivers(fset, pkg, known)
+	waived, recs, diags := scanWaivers(fset, pkg, known)
 	for _, a := range analyzers {
 		pass := &Pass{
 			Analyzer:  a,
@@ -94,60 +142,149 @@ func RunPackage(fset *token.FileSet, pkg *Package, analyzers []*Analyzer) ([]Res
 			Files:     pkg.Files,
 			Pkg:       pkg.Types,
 			TypesInfo: pkg.Info,
+			Prog:      prog,
 		}
 		name := a.Name
 		pass.Report = func(d Diagnostic) {
 			p := fset.Position(d.Pos)
-			if waived[waiverKey{p.Filename, p.Line, name}] ||
-				waived[waiverKey{p.Filename, p.Line - 1, name}] {
-				return
+			rd := ResultDiagnostic{
+				Analyzer: name, Pos: d.Pos,
+				File: p.Filename, Line: p.Line, Col: p.Column,
+				Message: d.Message,
 			}
-			diags = append(diags, ResultDiagnostic{Analyzer: name, Pos: d.Pos, Message: d.Message})
+			if rec := waived[waiverKey{p.Filename, p.Line, name}]; rec != nil {
+				rec.used = true
+				rd.Waived = true
+			}
+			diags = append(diags, rd)
 		}
 		if _, err := a.Run(pass); err != nil {
 			return nil, fmt.Errorf("%s on %s: %v", a.Name, pkg.ImportPath, err)
 		}
 	}
+	if auditName != "" {
+		for _, rec := range recs {
+			// Only waivers whose analyzer actually ran can be proven
+			// stale; a subset run says nothing about the rest.
+			if rec.used || !known[rec.analyzer] {
+				continue
+			}
+			d := driverDiag(fset, rec.pos, fmt.Sprintf(
+				"stale waiver: no %s diagnostic left to suppress on this or the next line; delete the waiver or re-justify it",
+				rec.analyzer))
+			d.Analyzer = auditName
+			diags = append(diags, d)
+		}
+	}
 	sort.Slice(diags, func(i, j int) bool {
-		pi, pj := fset.Position(diags[i].Pos), fset.Position(diags[j].Pos)
-		if pi.Filename != pj.Filename {
-			return pi.Filename < pj.Filename
+		di, dj := diags[i], diags[j]
+		if di.File != dj.File {
+			return di.File < dj.File
 		}
-		if pi.Line != pj.Line {
-			return pi.Line < pj.Line
+		if di.Line != dj.Line {
+			return di.Line < dj.Line
 		}
-		if pi.Column != pj.Column {
-			return pi.Column < pj.Column
+		if di.Col != dj.Col {
+			return di.Col < dj.Col
 		}
-		return diags[i].Analyzer < diags[j].Analyzer
+		return di.Analyzer < dj.Analyzer
 	})
 	return diags, nil
 }
 
-// Run loads the packages matched by patterns, applies the analyzers, and
-// prints diagnostics to w as "path:line:col: analyzer: message" with paths
-// relative to moduleDir. It returns the number of diagnostics printed.
-func Run(moduleDir string, patterns []string, analyzers []*Analyzer, w io.Writer) (int, error) {
+// Options configures a module-level run.
+type Options struct {
+	// CacheDir, when non-empty, enables the diagnostic cache: a run whose
+	// analyzer set, source files and dependency export data all hash to a
+	// previously seen key replays the stored diagnostics without
+	// type-checking anything.
+	CacheDir string
+}
+
+// Result is the outcome of one module-level run.
+type Result struct {
+	// Diags holds every diagnostic, waived ones included, sorted by
+	// package then position. File paths are absolute.
+	Diags []ResultDiagnostic
+
+	// CacheHit is true when the diagnostics were replayed from the cache.
+	CacheHit bool
+
+	// Packages is the number of packages analyzed (0 on a cache hit).
+	Packages int
+}
+
+// Unwaived counts the diagnostics that survive waivers — the ones that
+// fail a run.
+func (r *Result) Unwaived() int {
+	n := 0
+	for _, d := range r.Diags {
+		if !d.Waived {
+			n++
+		}
+	}
+	return n
+}
+
+// RunModule loads the packages matched by patterns in the module rooted
+// at moduleDir, builds the whole-program summaries, and applies the
+// analyzers to every package.
+func RunModule(moduleDir string, patterns []string, analyzers []*Analyzer, opts Options) (*Result, error) {
+	e := NewExports(moduleDir)
+	listed, err := e.goList(patterns...)
+	if err != nil {
+		return nil, err
+	}
+	key := ""
+	if opts.CacheDir != "" {
+		key = cacheKey(moduleDir, analyzers, listed)
+		if diags, ok := loadCachedDiags(opts.CacheDir, moduleDir, key); ok {
+			return &Result{Diags: diags, CacheHit: true}, nil
+		}
+	}
 	fset := token.NewFileSet()
-	pkgs, err := Load(fset, moduleDir, patterns)
+	pkgs, err := checkListed(e, fset, listed)
+	if err != nil {
+		return nil, err
+	}
+	prog := NewProgram(fset, pkgs)
+	res := &Result{Packages: len(pkgs)}
+	for _, pkg := range prog.Pkgs {
+		diags, err := RunPackage(prog, pkg, analyzers)
+		if err != nil {
+			return nil, err
+		}
+		res.Diags = append(res.Diags, diags...)
+	}
+	if key != "" {
+		saveCachedDiags(opts.CacheDir, moduleDir, key, res.Diags)
+	}
+	return res, nil
+}
+
+// Run loads the packages matched by patterns, applies the analyzers, and
+// prints unwaived diagnostics to w as "path:line:col: analyzer: message"
+// with paths relative to moduleDir. It returns the number printed.
+func Run(moduleDir string, patterns []string, analyzers []*Analyzer, w io.Writer) (int, error) {
+	res, err := RunModule(moduleDir, patterns, analyzers, Options{})
 	if err != nil {
 		return 0, err
 	}
 	total := 0
-	for _, pkg := range pkgs {
-		diags, err := RunPackage(fset, pkg, analyzers)
-		if err != nil {
-			return total, err
+	for _, d := range res.Diags {
+		if d.Waived {
+			continue
 		}
-		for _, d := range diags {
-			p := fset.Position(d.Pos)
-			name := p.Filename
-			if rel, err := filepath.Rel(moduleDir, name); err == nil && !strings.HasPrefix(rel, "..") {
-				name = rel
-			}
-			fmt.Fprintf(w, "%s:%d:%d: %s: %s\n", name, p.Line, p.Column, d.Analyzer, d.Message)
-			total++
-		}
+		fmt.Fprintf(w, "%s:%d:%d: %s: %s\n", RelPath(moduleDir, d.File), d.Line, d.Col, d.Analyzer, d.Message)
+		total++
 	}
 	return total, nil
+}
+
+// RelPath renders file relative to root when it lies beneath it.
+func RelPath(root, file string) string {
+	if rel, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(rel, "..") {
+		return rel
+	}
+	return file
 }

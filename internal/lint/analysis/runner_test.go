@@ -52,15 +52,68 @@ func waived() {}
 
 func flagged() {}
 `)
-	diags, err := RunPackage(fset, pkg, []*Analyzer{always})
+	diags, err := RunPackage(NewProgram(fset, []*Package{pkg}), pkg, []*Analyzer{always})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(diags) != 1 {
-		t.Fatalf("got %d diagnostics, want 1 (waived() suppressed): %+v", len(diags), diags)
+	// Both findings are recorded; the waived one is marked, not dropped.
+	var live []ResultDiagnostic
+	waivedSeen := false
+	for _, d := range diags {
+		if d.Waived {
+			waivedSeen = true
+			continue
+		}
+		live = append(live, d)
 	}
-	if line := fset.Position(diags[0].Pos).Line; line != 6 {
-		t.Errorf("surviving diagnostic on line %d, want 6 (flagged())", line)
+	if !waivedSeen {
+		t.Error("waived diagnostic not retained with Waived=true")
+	}
+	if len(live) != 1 {
+		t.Fatalf("got %d unwaived diagnostics, want 1 (waived() suppressed): %+v", len(live), live)
+	}
+	if live[0].Line != 6 {
+		t.Errorf("surviving diagnostic on line %d, want 6 (flagged())", live[0].Line)
+	}
+	if live[0].File == "" || live[0].Col == 0 {
+		t.Errorf("diagnostic missing File/Col: %+v", live[0])
+	}
+}
+
+// TestStaleWaiverAudit: with an AuditWaivers analyzer in the run set, a
+// well-formed waiver that suppresses nothing is itself a diagnostic, and a
+// waiver that does suppress stays silent.
+func TestStaleWaiverAudit(t *testing.T) {
+	fset, pkg := checkSource(t, `package waiver
+
+//dmtvet:allow always this function is exempt for testing
+func waived() {}
+
+//dmtvet:allow never nothing on this line ever fires
+var unused = 1
+`)
+	audit := &Analyzer{Name: "auditor", Doc: "stale waiver audit", AuditWaivers: true,
+		Run: func(*Pass) (any, error) { return nil, nil }}
+	never := &Analyzer{Name: "never", Doc: "never fires",
+		Run: func(*Pass) (any, error) { return nil, nil }}
+	diags, err := RunPackage(NewProgram(fset, []*Package{pkg}), pkg, []*Analyzer{always, never, audit})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stale []ResultDiagnostic
+	for _, d := range diags {
+		if d.Analyzer == "auditor" {
+			stale = append(stale, d)
+		}
+	}
+	if len(stale) != 1 {
+		t.Fatalf("got %d stale-waiver diagnostics, want 1: %+v", len(stale), diags)
+	}
+	if stale[0].Line != 6 {
+		t.Errorf("stale waiver reported on line %d, want 6 (the never waiver)", stale[0].Line)
+	}
+	if !strings.Contains(stale[0].Message, "stale waiver") {
+		t.Errorf("unexpected stale message: %q", stale[0].Message)
 	}
 }
 
@@ -73,7 +126,7 @@ func missingReason() {}
 //dmtvet:allow nosuchanalyzer because reasons
 func unknownAnalyzer() {}
 `)
-	diags, err := RunPackage(fset, pkg, []*Analyzer{always})
+	diags, err := RunPackage(NewProgram(fset, []*Package{pkg}), pkg, []*Analyzer{always})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -74,6 +74,14 @@ var wantRe = regexp.MustCompile("`([^`]*)`|\"((?:[^\"\\\\]|\\\\.)*)\"")
 // the fixture's // want comments via t.
 func Run(t *testing.T, analyzer *analysis.Analyzer, dir, pkgPath string) {
 	t.Helper()
+	RunAnalyzers(t, []*analysis.Analyzer{analyzer}, dir, pkgPath)
+}
+
+// RunAnalyzers is Run for a set of analyzers sharing one fixture — needed
+// by checks that only exist in combination, like the stale-waiver audit,
+// which fires when another analyzer's waiver suppresses nothing.
+func RunAnalyzers(t *testing.T, analyzers []*analysis.Analyzer, dir, pkgPath string) {
+	t.Helper()
 	e, err := sharedExports()
 	if err != nil {
 		t.Fatalf("resolving module root: %v", err)
@@ -104,11 +112,20 @@ func Run(t *testing.T, analyzer *analysis.Analyzer, dir, pkgPath string) {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
 				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
-				if !strings.HasPrefix(text, "want ") {
+				// A want may open the comment or ride at the end of another
+				// marker comment ("//dmtvet:allow ... // want ..."), which is
+				// how fixtures expect diagnostics reported on a waiver's own
+				// line, like the stale-waiver audit's.
+				switch i := strings.LastIndex(text, "// want "); {
+				case strings.HasPrefix(text, "want "):
+					text = strings.TrimPrefix(text, "want ")
+				case i >= 0:
+					text = text[i+len("// want "):]
+				default:
 					continue
 				}
 				pos := fset.Position(c.Pos())
-				matches := wantRe.FindAllStringSubmatch(strings.TrimPrefix(text, "want "), -1)
+				matches := wantRe.FindAllStringSubmatch(text, -1)
 				if len(matches) == 0 {
 					t.Errorf("%s:%d: malformed want comment: %q", pos.Filename, pos.Line, c.Text)
 					continue
@@ -129,22 +146,25 @@ func Run(t *testing.T, analyzer *analysis.Analyzer, dir, pkgPath string) {
 		}
 	}
 
-	diags, err := analysis.RunPackage(fset, pkg, []*analysis.Analyzer{analyzer})
+	prog := analysis.NewProgram(fset, []*analysis.Package{pkg})
+	diags, err := analysis.RunPackage(prog, pkg, analyzers)
 	if err != nil {
-		t.Fatalf("running %s: %v", analyzer.Name, err)
+		t.Fatalf("running fixture analyzers: %v", err)
 	}
 	for _, d := range diags {
-		pos := fset.Position(d.Pos)
+		if d.Waived {
+			continue // suppressed exactly as in a production run
+		}
 		matched := false
 		for _, w := range wants {
-			if !w.met && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(d.Message) {
+			if !w.met && w.file == d.File && w.line == d.Line && w.re.MatchString(d.Message) {
 				w.met = true
 				matched = true
 				break
 			}
 		}
 		if !matched {
-			t.Errorf("%s:%d: unexpected diagnostic: %s: %s", pos.Filename, pos.Line, d.Analyzer, d.Message)
+			t.Errorf("%s:%d: unexpected diagnostic: %s: %s", d.File, d.Line, d.Analyzer, d.Message)
 		}
 	}
 	for _, w := range wants {

@@ -68,15 +68,17 @@ var DetRand = &analysis.Analyzer{
 	Run: runDetRand,
 }
 
-func runDetRand(pass *analysis.Pass) (any, error) {
-	applies := false
+func isDeterministicPkg(path string) bool {
 	for _, p := range deterministicPkgs {
-		if underPath(pass.Pkg.Path(), p) {
-			applies = true
-			break
+		if underPath(path, p) {
+			return true
 		}
 	}
-	if !applies {
+	return false
+}
+
+func runDetRand(pass *analysis.Pass) (any, error) {
+	if !isDeterministicPkg(pass.Pkg.Path()) {
 		return nil, nil
 	}
 	for _, f := range pass.Files {
@@ -95,11 +97,34 @@ func runDetRand(pass *analysis.Pass) (any, error) {
 				}
 			case *ast.CallExpr:
 				checkDetRandCall(pass, n, localInit)
+				checkDetRandTransitive(pass, n)
 			}
 			return true
 		})
 	}
 	return nil, nil
+}
+
+// checkDetRandTransitive follows the call graph: a call from a
+// deterministic package into a function elsewhere in the module whose
+// summary reads the wall clock or draws global randomness smuggles
+// nondeterminism in through the side door. Callees inside deterministic
+// packages are skipped — they get their own direct diagnostics.
+func checkDetRandTransitive(pass *analysis.Pass, call *ast.CallExpr) {
+	fi := pass.Prog.FuncOfCall(pass.TypesInfo, call)
+	if fi == nil || isDeterministicPkg(fi.Pkg.ImportPath) {
+		return
+	}
+	if fi.Summary.ReadsClock {
+		pass.Reportf(call.Pos(),
+			"call to %s transitively reads the wall clock (%s) in deterministic package %s",
+			fi.ID, fi.Summary.ClockVia, pass.Pkg.Path())
+	}
+	if fi.Summary.GlobalRand {
+		pass.Reportf(call.Pos(),
+			"call to %s transitively draws from the global math/rand source (%s) in deterministic package %s",
+			fi.ID, fi.Summary.RandVia, pass.Pkg.Path())
+	}
 }
 
 func checkDetRandCall(pass *analysis.Pass, call *ast.CallExpr, localInit map[string]ast.Expr) {
@@ -123,7 +148,7 @@ func checkDetRandCall(pass *analysis.Pass, call *ast.CallExpr, localInit map[str
 		switch {
 		case seedEnteringConstructors[name]:
 			for _, arg := range call.Args {
-				if !seedDerived(arg, localInit, 0) {
+				if !seedDerived(pass, arg, localInit, 0) {
 					pass.Reportf(call.Pos(),
 						"rand.%s seed does not derive from runner.DeriveSeed or a seed field; "+
 							"per-entity randomness must flow from the run seed", name)
@@ -138,7 +163,7 @@ func checkDetRandCall(pass *analysis.Pass, call *ast.CallExpr, localInit map[str
 				if inner, ok := ast.Unparen(call.Args[0]).(*ast.CallExpr); ok && seedEnteringConstructors[calleeName(inner)] {
 					return
 				}
-				if !seedDerived(call.Args[0], localInit, 0) {
+				if !seedDerived(pass, call.Args[0], localInit, 0) {
 					pass.Reportf(call.Pos(),
 						"rand.New source does not derive from runner.DeriveSeed or a seed field")
 				}
@@ -155,9 +180,11 @@ func checkDetRandCall(pass *analysis.Pass, call *ast.CallExpr, localInit map[str
 
 // seedDerived reports whether expr visibly flows from a seed: it (or,
 // tracing through up to four local assignments, anything assigned to an
-// identifier in it) mentions a DeriveSeed call or a name containing
-// "seed".
-func seedDerived(expr ast.Expr, localInit map[string]ast.Expr, depth int) bool {
+// identifier in it) mentions a DeriveSeed call, a name containing "seed",
+// or a call to a function whose summary proves every return value is
+// seed-derived — so provenance survives helper functions with arbitrary
+// names (the old syntactic pass false-positived on those).
+func seedDerived(pass *analysis.Pass, expr ast.Expr, localInit map[string]ast.Expr, depth int) bool {
 	if depth > 4 {
 		return false
 	}
@@ -172,12 +199,16 @@ func seedDerived(expr ast.Expr, localInit map[string]ast.Expr, depth int) bool {
 				found = true
 				return false
 			}
+			if fi := pass.Prog.FuncOfCall(pass.TypesInfo, n); fi != nil && fi.Summary.SeedReturn {
+				found = true
+				return false
+			}
 		case *ast.Ident:
 			if strings.Contains(strings.ToLower(n.Name), "seed") {
 				found = true
 				return false
 			}
-			if init, ok := localInit[n.Name]; ok && init != expr && seedDerived(init, localInit, depth+1) {
+			if init, ok := localInit[n.Name]; ok && init != expr && seedDerived(pass, init, localInit, depth+1) {
 				found = true
 				return false
 			}

@@ -103,6 +103,26 @@ func checkFusedFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
 			if how, bad := fusedWriteTarget(info, aliases, n.X); bad {
 				report(n.X, how)
 			}
+		case *ast.CallExpr:
+			// Handing FusedLinear backing memory to a callee whose summary
+			// says it mutates that parameter is a write by proxy
+			// (patchRows(f.rows) with func patchRows(rows [][]float64)
+			// { rows[0][0] = ... }) — the cross-function hole the old
+			// per-function pass could not see. Constructor-prefixed callees
+			// are exempt, same as direct writes.
+			callee := pass.Prog.FuncOfCall(info, n)
+			if callee == nil || strings.HasPrefix(callee.Func.Name(), fusedConstructor) {
+				return true
+			}
+			exprs, idx := pass.Prog.CallArgs(info, n, callee)
+			for i, arg := range exprs {
+				if idx[i] < len(callee.Summary.Params) &&
+					callee.Summary.Params[idx[i]]&analysis.ParamMutated != 0 &&
+					(fusedAliased(info, aliases, arg) || fusedReceiver(info, arg)) {
+					pass.Reportf(arg.Pos(),
+						"FusedLinear backing memory passed to %s, which mutates its parameter, violates the rebuild-on-swap immutability contract; construct a fresh matrix instead", callee.ID)
+				}
+			}
 		}
 		return true
 	})

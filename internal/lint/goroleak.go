@@ -1,0 +1,53 @@
+package lint
+
+import (
+	"go/ast"
+
+	"repro/internal/lint/analysis"
+)
+
+// GoroLeak turns the drain contracts of serving and realnet — every
+// spawned goroutine is joined on Close, nothing outlives shutdown — into
+// a vet-time diagnostic: a `go` statement whose body has no join or
+// cancel path reachable (no channel operation, select, close,
+// sync.WaitGroup.Done, or context-done call, directly or through a callee
+// whose summary joins) is a goroutine nothing can wait for or stop.
+//
+// Delivering a result over a channel counts as a join path (the receiver
+// is the join), as does closing a resource. Goroutines spawned through a
+// function value are skipped: the body cannot be resolved statically.
+var GoroLeak = &analysis.Analyzer{
+	Name: "goroleak",
+	Doc: "every spawned goroutine needs a join or cancel path: a channel op, select, close, " +
+		"WaitGroup.Done, or context-done reachable in its body, so Close/drain can wait for it",
+	Run: runGoroLeak,
+}
+
+func runGoroLeak(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			joins := false
+			switch fun := ast.Unparen(g.Call.Fun).(type) {
+			case *ast.FuncLit:
+				joins = pass.Prog.BodyJoins(pass.TypesInfo, fun.Body)
+			default:
+				fi := pass.Prog.FuncOfCall(pass.TypesInfo, g.Call)
+				if fi == nil {
+					return true // function value or external body: unresolvable
+				}
+				joins = fi.Summary.Joins
+			}
+			if !joins {
+				pass.Reportf(g.Pos(),
+					"goroutine has no join or cancel path (no channel op, select, close, WaitGroup.Done, "+
+						"or context-done reachable in its body); shutdown cannot drain it — wire a WaitGroup or done channel")
+			}
+			return true
+		})
+	}
+	return nil, nil
+}

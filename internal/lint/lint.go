@@ -3,21 +3,31 @@
 // until now enforced only by digest tests and runtime panics — into a
 // compile-time diagnostic:
 //
-//	detrand        byte-determinism: no wall clock or underived
-//	               randomness in the deterministic packages
-//	maprange       byte-determinism: no order-dependent reductions over
-//	               map iteration
-//	scratchescape  fast-path rules: pooled scratch must not escape the
-//	               borrowing call
-//	enginerules    PDES engine rules: no engine mutation from node event
-//	               handlers
-//	fusedmut       fast-path rules: svm.FusedLinear is immutable after
-//	               construction
+//	detrand         byte-determinism: no wall clock or underived
+//	                randomness in the deterministic packages
+//	maprange        byte-determinism: no order-dependent reductions over
+//	                map iteration
+//	scratchescape   fast-path rules: pooled scratch must not escape the
+//	                borrowing call
+//	enginerules     PDES engine rules: no engine mutation from node event
+//	                handlers
+//	fusedmut        fast-path rules: svm.FusedLinear is immutable after
+//	                construction
+//	lockdiscipline  concurrency rules: no blocking op while a mutex is
+//	                held, no lock-order inversions, no lock-value copies
+//	goroleak        drain contracts: every spawned goroutine has a join
+//	                or cancel path
+//	waiverstale     waiver hygiene: a //dmtvet:allow that suppresses
+//	                nothing is itself a diagnostic
 //
 // The analyzers are built on internal/lint/analysis (an offline,
-// API-compatible stand-in for golang.org/x/tools/go/analysis) and run via
-// `go run ./cmd/dmtvet ./...`, which is a required CI step. Violations can
-// be surgically suppressed with a
+// API-compatible stand-in for golang.org/x/tools/go/analysis, grown in
+// this PR into an interprocedural engine: intra-module call graph plus
+// deterministic per-function summaries — see analysis.Program/Summary).
+// detrand, scratchescape, fusedmut, lockdiscipline and goroleak consume
+// summaries, so their facts propagate across call boundaries. The suite
+// runs via `go run ./cmd/dmtvet ./...`, which is a required CI step.
+// Violations can be surgically suppressed with a
 //
 //	//dmtvet:allow <analyzer> <reason>
 //
@@ -39,8 +49,20 @@ func Analyzers() []*analysis.Analyzer {
 		DetRand,
 		EngineRules,
 		FusedMut,
+		GoroLeak,
+		LockDiscipline,
 		MapRange,
 		ScratchEscape,
+		WaiverStale,
+	}
+}
+
+// init registers every suite name as a legal waiver target, so subset
+// runs (`dmtvet -run detrand`) do not misreport other analyzers' waivers
+// as malformed.
+func init() {
+	for _, a := range Analyzers() {
+		analysis.RegisterWaiverNames(a.Name)
 	}
 }
 

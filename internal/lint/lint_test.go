@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/lint"
+	"repro/internal/lint/analysis"
 	"repro/internal/lint/analysistest"
 )
 
@@ -40,10 +41,28 @@ func TestFusedMut(t *testing.T) {
 	analysistest.Run(t, lint.FusedMut, "testdata/src/fusedmut", "repro/internal/svmfixture")
 }
 
-// TestSuiteOrder pins the registry: five analyzers, stable names — CI and
+func TestLockDiscipline(t *testing.T) {
+	analysistest.Run(t, lint.LockDiscipline, "testdata/src/lockdiscipline", "repro/internal/serving/dmtvetfixture")
+}
+
+func TestGoroLeak(t *testing.T) {
+	analysistest.Run(t, lint.GoroLeak, "testdata/src/goroleak", "repro/internal/realnet/dmtvetfixture")
+}
+
+func TestWaiverStale(t *testing.T) {
+	// The audit only means something in combination with the analyzer
+	// whose waivers it judges: detrand supplies a used waiver (silent) and
+	// a stale one (reported on the waiver's own line).
+	analysistest.RunAnalyzers(t,
+		[]*analysis.Analyzer{lint.DetRand, lint.WaiverStale},
+		"testdata/src/waiverstale", "repro/internal/pace/dmtvetfixture")
+}
+
+// TestSuiteOrder pins the registry: eight analyzers, stable names — CI and
 // waiver comments depend on them.
 func TestSuiteOrder(t *testing.T) {
-	want := []string{"detrand", "enginerules", "fusedmut", "maprange", "scratchescape"}
+	want := []string{"detrand", "enginerules", "fusedmut", "goroleak",
+		"lockdiscipline", "maprange", "scratchescape", "waiverstale"}
 	got := lint.Analyzers()
 	if len(got) != len(want) {
 		t.Fatalf("Analyzers() returned %d analyzers, want %d", len(got), len(want))

@@ -1,0 +1,385 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+// LockDiscipline enforces the concurrency contracts that keep the serving
+// and realnet layers shutdown-safe and deadlock-free:
+//
+//   - no blocking operation while a mutex is held: a channel send/receive,
+//     select without default, sync.WaitGroup.Wait, time.Sleep, network or
+//     file I/O — directly or through a callee whose summary blocks —
+//     stalls every other goroutine contending for the lock, and under the
+//     dispatcher's backpressure can deadlock the whole pool;
+//   - no lock-order inversions: acquiring B while holding A after some
+//     other function acquires A while holding B is the classic ABBA
+//     deadlock, detected here against a program-wide table of observed
+//     acquisition orders (lock identity is class-level: pkg.Type.field);
+//   - no re-acquiring a lock class already held (self-deadlock), directly
+//     or through a callee whose summary acquires it;
+//   - no copying a value containing a sync primitive: the copy's lock
+//     state silently diverges from the original's.
+//
+// The scan is linear per function scope in source order and deliberately
+// branch-insensitive; each function literal is its own scope (a closure
+// handed to an executor does not run under the spawner's locks). A
+// deferred Unlock keeps its region open to the end of the scope.
+var LockDiscipline = &analysis.Analyzer{
+	Name: "lockdiscipline",
+	Doc: "no blocking operation (channel op, select, WaitGroup.Wait, I/O, sleep) while a mutex " +
+		"is held, no lock-order inversions against the program-wide observed order, no " +
+		"re-acquiring a held lock class, and no copying values containing sync primitives",
+	Run: runLockDiscipline,
+}
+
+// lockPair is one observed acquisition order: acquired while held.
+type lockPair struct{ held, acquired string }
+
+// lockOrderTable is the program-wide first-observation table of lock
+// acquisition orders, built once per Program over every function scope.
+type lockOrderTable struct {
+	first map[lockPair]token.Pos
+}
+
+// lockOrderCache memoizes the table per Program. RunPackage drives
+// analyzers sequentially, so no locking is needed — and the table being
+// program-wide (not per-package) is the point: an inversion between
+// packages that do not import each other is still a deadlock.
+var lockOrderCache = map[*analysis.Program]*lockOrderTable{}
+
+func lockOrderFor(prog *analysis.Program) *lockOrderTable {
+	if t, ok := lockOrderCache[prog]; ok {
+		return t
+	}
+	t := &lockOrderTable{first: map[lockPair]token.Pos{}}
+	for _, fi := range prog.Funcs() {
+		scanLockScopes(prog, fi.Pkg.Info, fi.Pkg.ImportPath, fi.Decl.Body,
+			func(p lockPair, pos token.Pos) {
+				if _, ok := t.first[p]; !ok {
+					t.first[p] = pos
+				}
+			}, nil)
+	}
+	lockOrderCache[prog] = t
+	return t
+}
+
+func runLockDiscipline(pass *analysis.Pass) (any, error) {
+	table := lockOrderFor(pass.Prog)
+	report := func(pos token.Pos, format string, args ...any) {
+		pass.Reportf(pos, format, args...)
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			scanLockScopes(pass.Prog, pass.TypesInfo, pass.Pkg.Path(), fd.Body, nil,
+				&lockReporter{prog: pass.Prog, table: table, report: report})
+		}
+		checkLockCopies(pass, f)
+	}
+	return nil, nil
+}
+
+type lockReporter struct {
+	prog   *analysis.Program
+	table  *lockOrderTable
+	report func(pos token.Pos, format string, args ...any)
+}
+
+// lockRegion is one open critical section in the linear scan.
+type lockRegion struct {
+	key      string
+	rlock    bool
+	pos      token.Pos
+	deferred bool
+}
+
+// scanLockScopes runs the linear lock scan over body and, recursively,
+// over every function literal inside it as an independent scope. pairFn
+// (build phase) receives every observed acquisition order; rep (report
+// phase) receives diagnostics checked against the completed table.
+func scanLockScopes(prog *analysis.Program, info *types.Info, pkgPath string, body ast.Node,
+	pairFn func(lockPair, token.Pos), rep *lockReporter) {
+
+	var regions []lockRegion
+	var lits []*ast.FuncLit
+
+	held := func() string {
+		s := ""
+		for _, r := range regions {
+			if s != "" {
+				s += ", "
+			}
+			s += r.key
+		}
+		return s
+	}
+	blocking := func(pos token.Pos, what string) {
+		if rep != nil && len(regions) > 0 {
+			rep.report(pos, "%s while holding %s; release the lock first (a blocked holder stalls every contender)", what, held())
+		}
+	}
+	acquire := func(pos token.Pos, key string, rlock bool) {
+		for _, r := range regions {
+			if r.key == key {
+				if rep != nil && !(r.rlock && rlock) {
+					rep.report(pos, "acquiring %s while it is already held (acquired at %s): self-deadlock",
+						key, prog.Fset.Position(r.pos))
+				}
+				break
+			}
+		}
+		for _, r := range regions {
+			if r.key == key {
+				continue
+			}
+			p := lockPair{held: r.key, acquired: key}
+			if pairFn != nil {
+				pairFn(p, pos)
+			}
+			if rep != nil {
+				if prev, ok := rep.table.first[lockPair{held: key, acquired: r.key}]; ok {
+					rep.report(pos, "acquiring %s while holding %s inverts the lock order observed at %s: ABBA deadlock risk",
+						key, r.key, prog.Fset.Position(prev))
+				}
+			}
+		}
+		regions = append(regions, lockRegion{key: key, rlock: rlock, pos: pos})
+	}
+	release := func(key string) {
+		for i := len(regions) - 1; i >= 0; i-- {
+			if regions[i].key == key && !regions[i].deferred {
+				regions = append(regions[:i], regions[i+1:]...)
+				return
+			}
+		}
+	}
+	markDeferred := func(key string) {
+		for i := len(regions) - 1; i >= 0; i-- {
+			if regions[i].key == key {
+				regions[i].deferred = true
+				return
+			}
+		}
+	}
+
+	handleCall := func(call *ast.CallExpr) {
+		if key, op, ok := syncLockOp(info, pkgPath, call); ok {
+			switch op {
+			case "Lock":
+				acquire(call.Pos(), key, false)
+			case "RLock":
+				acquire(call.Pos(), key, true)
+			case "Unlock", "RUnlock":
+				release(key)
+			}
+			return
+		}
+		// A callee that acquires locks extends the order table through the
+		// call edge; one that blocks is a blocking event here.
+		if callee := prog.FuncOfCall(info, call); callee != nil && len(regions) > 0 {
+			for _, lk := range callee.Summary.Locks {
+				heldHere := false
+				for _, r := range regions {
+					if r.key == lk {
+						heldHere = true
+					}
+				}
+				if heldHere {
+					if rep != nil {
+						rep.report(call.Pos(), "call to %s acquires %s, which is already held here: self-deadlock",
+							callee.ID, lk)
+					}
+					continue
+				}
+				for _, r := range regions {
+					p := lockPair{held: r.key, acquired: lk}
+					if pairFn != nil {
+						pairFn(p, call.Pos())
+					}
+					if rep != nil {
+						if prev, ok := rep.table.first[lockPair{held: lk, acquired: r.key}]; ok {
+							rep.report(call.Pos(), "call to %s acquires %s while holding %s, inverting the lock order observed at %s",
+								callee.ID, lk, r.key, prog.Fset.Position(prev))
+						}
+					}
+				}
+			}
+		}
+		if rep != nil && len(regions) > 0 {
+			if via, blocks := prog.CallBlocks(info, call); blocks {
+				blocking(call.Pos(), via)
+			}
+		}
+	}
+
+	var visit func(n ast.Node) bool
+	visit = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			lits = append(lits, n)
+			return false
+		case *ast.GoStmt:
+			if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+				lits = append(lits, lit)
+			}
+			return false // the spawned body runs without this scope's locks
+		case *ast.DeferStmt:
+			if key, op, ok := syncLockOp(info, pkgPath, n.Call); ok && (op == "Unlock" || op == "RUnlock") {
+				markDeferred(key)
+			}
+			return false // deferred work runs at exit, outside the linear order
+		case *ast.CallExpr:
+			handleCall(n)
+			return true
+		case *ast.SendStmt:
+			blocking(n.Pos(), "channel send")
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				blocking(n.Pos(), "channel receive")
+			}
+		case *ast.RangeStmt:
+			if t := info.TypeOf(n.X); t != nil {
+				if _, isChan := t.Underlying().(*types.Chan); isChan {
+					blocking(n.Pos(), "range over channel")
+				}
+			}
+		case *ast.SelectStmt:
+			hasDefault := false
+			for _, c := range n.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+					hasDefault = true
+				}
+			}
+			if !hasDefault {
+				blocking(n.Pos(), "select without default")
+			}
+			for _, c := range n.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok {
+					for _, stmt := range cc.Body {
+						ast.Inspect(stmt, visit)
+					}
+				}
+			}
+			return false // the comm clauses themselves are part of the select
+		}
+		return true
+	}
+	ast.Inspect(body, visit)
+
+	for _, lit := range lits {
+		scanLockScopes(prog, info, pkgPath, lit.Body, pairFn, rep)
+	}
+}
+
+// syncLockOp matches mu.Lock/RLock/Unlock/RUnlock on sync.Mutex/RWMutex
+// and returns the lock class key and operation name.
+func syncLockOp(info *types.Info, pkgPath string, call *ast.CallExpr) (key, op string, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	obj, isFunc := info.Uses[sel.Sel].(*types.Func)
+	if !isFunc || obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return "", "", false
+	}
+	switch obj.Name() {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	recv := obj.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return "", "", false
+	}
+	t := recv.Type()
+	if p, isPtr := t.(*types.Pointer); isPtr {
+		t = p.Elem()
+	}
+	if n, isNamed := t.(*types.Named); !isNamed || (n.Obj().Name() != "Mutex" && n.Obj().Name() != "RWMutex") {
+		return "", "", false
+	}
+	return analysis.LockClass(info, pkgPath, sel.X), obj.Name(), true
+}
+
+// checkLockCopies flags copies of values containing sync primitives:
+// assignments from an existing value (x := other, s := *p) and arguments
+// passed by value. Fresh composite literals and pointers are fine.
+func checkLockCopies(pass *analysis.Pass, f *ast.File) {
+	info := pass.TypesInfo
+	copyDiag := func(e ast.Expr) {
+		t := info.TypeOf(e)
+		if t == nil || !copiesLockValue(e, t) {
+			return
+		}
+		pass.Reportf(e.Pos(),
+			"copies %s by value, and it contains a sync primitive; the copy's lock state diverges from the original (use a pointer)",
+			types.TypeString(t, types.RelativeTo(pass.Pkg)))
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, rhs := range n.Rhs {
+				copyDiag(rhs)
+			}
+		case *ast.CallExpr:
+			if _, _, isLockOp := syncLockOp(info, pass.Pkg.Path(), n); isLockOp {
+				return true
+			}
+			for _, arg := range n.Args {
+				copyDiag(arg)
+			}
+		}
+		return true
+	})
+}
+
+// copiesLockValue reports whether evaluating e copies an existing value
+// whose type contains a sync primitive: a read of a variable, field,
+// element or dereference — not a fresh literal, call result, or address.
+func copiesLockValue(e ast.Expr, t types.Type) bool {
+	switch ast.Unparen(e).(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+	default:
+		return false
+	}
+	if _, isPtr := t.Underlying().(*types.Pointer); isPtr {
+		return false
+	}
+	return containsSyncPrimitive(t, map[types.Type]bool{})
+}
+
+func containsSyncPrimitive(t types.Type, seen map[types.Type]bool) bool {
+	if t == nil || seen[t] {
+		return false
+	}
+	seen[t] = true
+	if n, ok := t.(*types.Named); ok {
+		if obj := n.Obj(); obj.Pkg() != nil && obj.Pkg().Path() == "sync" {
+			switch obj.Name() {
+			case "Mutex", "RWMutex", "WaitGroup", "Once", "Cond", "Pool":
+				return true
+			}
+		}
+		return containsSyncPrimitive(n.Underlying(), seen)
+	}
+	switch u := t.(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if containsSyncPrimitive(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return containsSyncPrimitive(u.Elem(), seen)
+	}
+	return false
+}

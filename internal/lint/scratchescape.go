@@ -80,7 +80,7 @@ func checkScratchFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
 				if !ok || id.Name == "_" {
 					continue
 				}
-				if !scratchTainted(info, tainted, rhs) {
+				if !scratchTainted(pass, tainted, rhs) {
 					continue
 				}
 				obj := info.Defs[id]
@@ -103,13 +103,13 @@ func checkScratchFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
 		switch n := n.(type) {
 		case *ast.ReturnStmt:
 			for _, res := range n.Results {
-				if scratchTainted(info, tainted, res) {
+				if scratchTainted(pass, tainted, res) {
 					pass.Reportf(res.Pos(),
 						"pooled scratch escapes the borrowing call via return; copy the bytes out instead")
 				}
 			}
 		case *ast.SendStmt:
-			if scratchTainted(info, tainted, n.Value) {
+			if scratchTainted(pass, tainted, n.Value) {
 				pass.Reportf(n.Value.Pos(),
 					"pooled scratch escapes the borrowing call via channel send; copy the bytes out instead")
 			}
@@ -118,7 +118,7 @@ func checkScratchFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
 				if i >= len(n.Rhs) {
 					break
 				}
-				if !scratchTainted(info, tainted, n.Rhs[i]) {
+				if !scratchTainted(pass, tainted, n.Rhs[i]) {
 					continue
 				}
 				checkScratchStore(pass, tainted, lhs)
@@ -129,14 +129,30 @@ func checkScratchFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
 			// func-typed field) is opaque here: it may stash the slice
 			// anywhere. Handing it pooled scratch is safe only under a
 			// documented consume-only contract, which a waiver records.
-			name := funcValueCallee(info, n)
-			if name == "" {
+			if name := funcValueCallee(info, n); name != "" {
+				for _, arg := range n.Args {
+					if scratchTainted(pass, tainted, arg) {
+						pass.Reportf(arg.Pos(),
+							"pooled scratch passed to function value %s may be retained beyond the borrowing call; copy the bytes out, or waive with a documented consume-only contract", name)
+					}
+				}
 				return true
 			}
-			for _, arg := range n.Args {
-				if scratchTainted(info, tainted, arg) {
+			// A declared callee whose summary says a parameter escapes
+			// (stored in a global, another object, or sent away) publishes
+			// the scratch just as surely as doing it here — the
+			// cross-function hole the old per-function pass could not see.
+			callee := pass.Prog.FuncOfCall(info, n)
+			if callee == nil || isBorrowName(callee.Func.Name()) {
+				return true
+			}
+			exprs, idx := pass.Prog.CallArgs(info, n, callee)
+			for i, arg := range exprs {
+				if idx[i] < len(callee.Summary.Params) &&
+					callee.Summary.Params[idx[i]]&analysis.ParamEscapes != 0 &&
+					scratchTainted(pass, tainted, arg) {
 					pass.Reportf(arg.Pos(),
-						"pooled scratch passed to function value %s may be retained beyond the borrowing call; copy the bytes out, or waive with a documented consume-only contract", name)
+						"pooled scratch passed to %s, which retains or publishes its parameter; copy the bytes out before the call", callee.ID)
 				}
 			}
 		}
@@ -187,13 +203,13 @@ func checkScratchStore(pass *analysis.Pass, tainted map[types.Object]bool, lhs a
 		// Writing back into the workspace itself (ws.arena = append(...))
 		// is the normal reuse pattern; writing into any other struct's
 		// field publishes the buffer.
-		if !scratchTainted(info, tainted, l.X) {
+		if !scratchTainted(pass, tainted, l.X) {
 			pass.Reportf(lhs.Pos(),
 				"pooled scratch stored in a struct field outlives the borrowing call; copy the bytes out instead")
 		}
 	case *ast.IndexExpr:
 		base := rootObject(info, l.X)
-		if scratchTainted(info, tainted, l.X) {
+		if scratchTainted(pass, tainted, l.X) {
 			return
 		}
 		if base != nil && base.Parent() == pass.Pkg.Scope() {
@@ -205,7 +221,8 @@ func checkScratchStore(pass *analysis.Pass, tainted map[types.Object]bool, lhs a
 
 // scratchTainted reports whether e evaluates to pooled scratch memory or
 // something aliasing it.
-func scratchTainted(info *types.Info, tainted map[types.Object]bool, e ast.Expr) bool {
+func scratchTainted(pass *analysis.Pass, tainted map[types.Object]bool, e ast.Expr) bool {
+	info := pass.TypesInfo
 	switch e := ast.Unparen(e).(type) {
 	case *ast.Ident:
 		obj := info.Uses[e]
@@ -214,23 +231,23 @@ func scratchTainted(info *types.Info, tainted map[types.Object]bool, e ast.Expr)
 		}
 		return obj != nil && tainted[obj]
 	case *ast.SelectorExpr:
-		return scratchTainted(info, tainted, e.X)
+		return scratchTainted(pass, tainted, e.X)
 	case *ast.IndexExpr:
-		return scratchTainted(info, tainted, e.X)
+		return scratchTainted(pass, tainted, e.X)
 	case *ast.SliceExpr:
-		return scratchTainted(info, tainted, e.X)
+		return scratchTainted(pass, tainted, e.X)
 	case *ast.StarExpr:
-		return scratchTainted(info, tainted, e.X)
+		return scratchTainted(pass, tainted, e.X)
 	case *ast.UnaryExpr:
-		return scratchTainted(info, tainted, e.X)
+		return scratchTainted(pass, tainted, e.X)
 	case *ast.TypeAssertExpr:
-		return scratchTainted(info, tainted, e.X)
+		return scratchTainted(pass, tainted, e.X)
 	case *ast.CompositeLit:
 		for _, el := range e.Elts {
 			if kv, ok := el.(*ast.KeyValueExpr); ok {
 				el = kv.Value
 			}
-			if scratchTainted(info, tainted, el) {
+			if scratchTainted(pass, tainted, el) {
 				return true
 			}
 		}
@@ -243,18 +260,33 @@ func scratchTainted(info *types.Info, tainted map[types.Object]bool, e ast.Expr)
 		case "append":
 			// append copies the appended values; the result aliases
 			// only the destination slice.
-			return len(e.Args) > 0 && scratchTainted(info, tainted, e.Args[0])
+			return len(e.Args) > 0 && scratchTainted(pass, tainted, e.Args[0])
 		}
 		// A conversion keeps the backing array for slice->slice shapes
 		// and copies for string/basic targets.
 		if tv, ok := info.Types[e.Fun]; ok && tv.IsType() && len(e.Args) == 1 {
 			t := tv.Type.Underlying()
 			if _, isSlice := t.(*types.Slice); isSlice {
-				return scratchTainted(info, tainted, e.Args[0])
+				return scratchTainted(pass, tainted, e.Args[0])
 			}
 			return false
 		}
-		return false // ordinary calls are assumed to copy; their bodies are checked separately
+		// A callee whose summary says a parameter flows to its return
+		// value passes the alias through (func arenaOf(ws *workspace)
+		// []byte { return ws.arena }) — taint survives the call, closing
+		// the old per-function pass's blind spot. Other calls are assumed
+		// to copy; escaping callees are reported at the call site.
+		if callee := pass.Prog.FuncOfCall(info, e); callee != nil && !isPoolBorrow(info, e) {
+			exprs, idx := pass.Prog.CallArgs(info, e, callee)
+			for i, arg := range exprs {
+				if idx[i] < len(callee.Summary.Params) &&
+					callee.Summary.Params[idx[i]]&analysis.ParamFlowsToReturn != 0 &&
+					scratchTainted(pass, tainted, arg) {
+					return true
+				}
+			}
+		}
+		return false
 	}
 	return false
 }

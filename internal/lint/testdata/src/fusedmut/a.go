@@ -82,3 +82,35 @@ func waived(f *FusedLinear) {
 	//dmtvet:allow fusedmut fixture pins that a reasoned waiver suppresses the diagnostic
 	f.rows = nil
 }
+
+// --- cross-function cases: the old per-function pass could not see into
+// helper bodies, so mutation by proxy slipped through ---
+
+// patchRows's summary records that it writes through its parameter.
+func patchRows(rows []float64) {
+	for i := range rows {
+		rows[i] = 0
+	}
+}
+
+func mutateViaHelper(f *FusedLinear) {
+	patchRows(f.rows) // want `FusedLinear backing memory passed to repro/internal/svmfixture\.patchRows, which mutates its parameter`
+}
+
+func mutateAliasViaHelper(f *FusedLinear) {
+	rows := f.rows
+	patchRows(rows) // want `FusedLinear backing memory passed to repro/internal/svmfixture\.patchRows, which mutates its parameter`
+}
+
+// sumRows only reads; passing backing memory to it is fine.
+func sumRows(rows []float64) float64 {
+	t := 0.0
+	for _, v := range rows {
+		t += v
+	}
+	return t
+}
+
+func okHelperReads(f *FusedLinear) float64 {
+	return sumRows(f.rows)
+}

@@ -1,0 +1,76 @@
+// Fixture for dmtvet/goroleak: every spawned goroutine needs a join or
+// cancel path — a channel op, select, close, WaitGroup.Done, or
+// context-done reachable in its body, directly or through a callee whose
+// summary joins. The named-function cases are interprocedural: the old
+// syntactic passes could not see into a worker's body at the go site.
+package fixture
+
+import (
+	"context"
+	"sync"
+)
+
+var counter int
+
+func leakyCompute() {
+	go func() { // want `goroutine has no join or cancel path`
+		counter++
+	}()
+}
+
+func okWaitGroup(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		counter++
+	}()
+}
+
+func okChannelDelivery(ch chan int) {
+	// Delivering the result is the join: the receiver waits for it.
+	go func() {
+		ch <- 42
+	}()
+}
+
+func okContextSelect(ctx context.Context, ch chan int) {
+	go func() {
+		select {
+		case <-ctx.Done():
+		case v := <-ch:
+			counter += v
+		}
+	}()
+}
+
+// worker's summary joins: it ranges over a channel, so closing the
+// channel drains it.
+func worker(ch chan int) {
+	for v := range ch {
+		counter += v
+	}
+}
+
+func okNamedWorker(ch chan int) {
+	go worker(ch)
+}
+
+// namedCompute's summary has no join path; spawning it leaks.
+func namedCompute() {
+	counter++
+}
+
+func leakyNamedCompute() {
+	go namedCompute() // want `goroutine has no join or cancel path`
+}
+
+func okFuncValue(f func()) {
+	go f() // a function value's body is unresolvable; skipped by design
+}
+
+func waivedLeak() {
+	//dmtvet:allow goroleak fixture pins that a reasoned waiver suppresses the diagnostic
+	go func() {
+		counter++
+	}()
+}

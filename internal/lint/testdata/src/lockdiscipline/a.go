@@ -1,0 +1,171 @@
+// Fixture for dmtvet/lockdiscipline: no blocking operation while a mutex
+// is held, no lock-order inversions, no re-acquiring a held lock class,
+// no copying values containing sync primitives. The cross-function cases
+// (blocking or re-locking through a helper) are exactly what the old
+// per-function passes could not see.
+package fixture
+
+import (
+	"sync"
+	"time"
+)
+
+type server struct {
+	mu    sync.Mutex
+	state int
+}
+
+// --- blocking under a held lock ---
+
+func sendUnderLock(s *server, ch chan int) {
+	s.mu.Lock()
+	ch <- s.state // want `channel send while holding repro/internal/serving/dmtvetfixture\.server\.mu`
+	s.mu.Unlock()
+}
+
+func recvUnderDeferredUnlock(s *server, ch chan int) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return <-ch // want `channel receive while holding repro/internal/serving/dmtvetfixture\.server\.mu`
+}
+
+func sleepDirectUnderLock(s *server) {
+	s.mu.Lock()
+	time.Sleep(time.Millisecond) // want `time\.Sleep while holding repro/internal/serving/dmtvetfixture\.server\.mu`
+	s.mu.Unlock()
+}
+
+// nap's summary records that it blocks (time.Sleep), so calling it under
+// a lock is a blocking event at the call site.
+func nap() {
+	time.Sleep(time.Millisecond)
+}
+
+func sleepViaHelperUnderLock(s *server) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	nap() // want `call to repro/internal/serving/dmtvetfixture\.nap, which may block \(time\.Sleep\) while holding`
+}
+
+func selectUnderLock(s *server, ch chan int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select { // want `select without default while holding repro/internal/serving/dmtvetfixture\.server\.mu`
+	case v := <-ch:
+		s.state = v
+	}
+}
+
+func okSelectWithDefault(s *server, ch chan int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case v := <-ch:
+		s.state = v
+	default:
+	}
+}
+
+func okSendAfterUnlock(s *server, ch chan int) {
+	s.mu.Lock()
+	v := s.state
+	s.mu.Unlock()
+	ch <- v
+}
+
+func okGoroutineOutsideLockScope(s *server, ch chan int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// The spawned body runs on its own goroutine without this scope's
+	// locks; its channel send is not a blocking event here.
+	go func() { ch <- 1 }()
+	s.state++
+}
+
+func waivedSend(s *server, ch chan int) {
+	s.mu.Lock()
+	//dmtvet:allow lockdiscipline fixture pins that a reasoned waiver suppresses the diagnostic
+	ch <- s.state
+	s.mu.Unlock()
+}
+
+// --- lock-order inversion (ABBA) ---
+
+var (
+	muA sync.Mutex
+	muB sync.Mutex
+)
+
+func lockAB() {
+	muA.Lock()
+	muB.Lock() // want `acquiring repro/internal/serving/dmtvetfixture\.muB while holding repro/internal/serving/dmtvetfixture\.muA inverts the lock order observed at`
+	muB.Unlock()
+	muA.Unlock()
+}
+
+func lockBA() {
+	muB.Lock()
+	muA.Lock() // want `acquiring repro/internal/serving/dmtvetfixture\.muA while holding repro/internal/serving/dmtvetfixture\.muB inverts the lock order observed at`
+	muA.Unlock()
+	muB.Unlock()
+}
+
+// --- self-deadlock, direct and through a helper ---
+
+func doubleLock(s *server) {
+	s.mu.Lock()
+	s.mu.Lock() // want `acquiring repro/internal/serving/dmtvetfixture\.server\.mu while it is already held .*: self-deadlock`
+	s.mu.Unlock()
+	s.mu.Unlock()
+}
+
+var gate sync.Mutex
+
+// lockGate's summary records that it acquires the gate lock class.
+func lockGate() {
+	gate.Lock()
+	gate.Unlock()
+}
+
+func reenterViaHelper() {
+	gate.Lock()
+	lockGate() // want `call to repro/internal/serving/dmtvetfixture\.lockGate acquires repro/internal/serving/dmtvetfixture\.gate, which is already held here: self-deadlock`
+	gate.Unlock()
+}
+
+func okSequentialHelper() {
+	lockGate() // lock released before we take it ourselves
+	gate.Lock()
+	gate.Unlock()
+}
+
+// --- shared read locks are not self-deadlock ---
+
+type registry struct {
+	mu   sync.RWMutex
+	tags map[string]int
+}
+
+func okRecursiveRead(r *registry) int {
+	r.mu.RLock()
+	n := len(r.tags)
+	r.mu.RUnlock()
+	return n
+}
+
+// --- lock-value copies ---
+
+type gauge struct {
+	mu sync.Mutex
+	n  int
+}
+
+func copyGauge(g *gauge) int {
+	snap := *g // want `copies gauge by value, and it contains a sync primitive`
+	return snap.n
+}
+
+func okPointerCopy(g *gauge) *gauge {
+	p := g // copying the pointer shares the lock; fine
+	return p
+}

@@ -122,6 +122,44 @@ func waivedCallback(visit func([]byte)) {
 	visit(ws.arena)
 }
 
+// --- cross-function cases: interprocedural summaries close the holes the
+// old per-function pass provably missed (helper bodies were opaque) ---
+
+// arenaOf's summary records that its parameter flows to its return value,
+// so taint survives the call.
+func arenaOf(ws *workspace) []byte { return ws.arena }
+
+func escapeViaHelperReturn() []byte {
+	ws := getWorkspace()
+	defer putWorkspace(ws)
+	return arenaOf(ws) // want `pooled scratch escapes the borrowing call via return`
+}
+
+func escapeViaHelperAlias(h *holder) {
+	ws := getWorkspace()
+	buf := arenaOf(ws)
+	h.buf = buf // want `pooled scratch stored in a struct field`
+}
+
+// stash's summary records that b escapes (stored into another object), so
+// handing it pooled scratch publishes the buffer.
+func stash(h *holder, b []byte) { h.buf = b }
+
+func escapeViaHelperStore(h *holder) {
+	ws := getWorkspace()
+	defer putWorkspace(ws)
+	stash(h, ws.arena) // want `pooled scratch passed to repro/internal/textproc/dmtvetfixture\.stash, which retains or publishes its parameter`
+}
+
+// measure only reads its argument; no diagnostic.
+func measure(b []byte) int { return len(b) }
+
+func okHelperReads() int {
+	ws := getWorkspace()
+	defer putWorkspace(ws)
+	return measure(ws.arena)
+}
+
 // --- pooled score scratch with a closure-capture escape ---
 
 type scoreScratch struct {

@@ -1,0 +1,29 @@
+// Fixture for dmtvet/waiverstale: a //dmtvet:allow waiver that no longer
+// suppresses any diagnostic of its analyzer is itself a diagnostic. The
+// fixture runs detrand alongside the audit (type-checked under a
+// deterministic package path), so it can pin all three behaviors: a used
+// waiver stays silent, an unused waiver of a running analyzer is stale,
+// and a waiver naming an analyzer outside the run set is left alone.
+package fixture
+
+import "time"
+
+// The waiver suppresses a real detrand finding: used, not stale.
+func usedWaiver() time.Time {
+	//dmtvet:allow detrand fixture pins that a used waiver is not reported stale
+	return time.Now()
+}
+
+// The code this waiver excused is long gone; the waiver itself is now the
+// finding (reported on the waiver comment's own line).
+func staleWaiver() int {
+	//dmtvet:allow detrand the clock read here was removed ages ago // want `stale waiver: no detrand diagnostic left to suppress`
+	return 4
+}
+
+// maprange is a legal waiver target but not in this run set; a subset run
+// can say nothing about it, so the waiver is not audited.
+func subsetSafe() int {
+	//dmtvet:allow maprange subset runs must not flag other analyzers' waivers
+	return 5
+}

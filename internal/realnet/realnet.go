@@ -361,11 +361,20 @@ func (n *Node) Close() error {
 	n.closeOnce.Do(func() {
 		close(n.stop)
 		err = n.ln.Close()
+		// Snapshot under the lock, close outside it: Conn.Close can block
+		// on the socket, and handler goroutines need n.mu to deregister
+		// themselves — holding it here would stall the very goroutines
+		// wg.Wait is about to wait for.
 		n.mu.Lock()
+		conns := make([]net.Conn, 0, len(n.conns))
 		for c := range n.conns {
-			_ = c.Close()
+			//dmtvet:allow maprange close order is irrelevant: every conn is closed exactly once and nothing observes the sequence
+			conns = append(conns, c)
 		}
 		n.mu.Unlock()
+		for _, c := range conns {
+			_ = c.Close()
+		}
 		n.wg.Wait()
 	})
 	return err

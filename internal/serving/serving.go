@@ -623,6 +623,7 @@ func (s *Server) Swap(engines ...Engine) error {
 	s.mu.Unlock()
 	g := s.newGeneration(id, engines)
 	sw := swapReq{gen: g, reply: make(chan *generation, 1)}
+	//dmtvet:allow lockdiscipline swapMu exists to serialize swaps; blocking while holding it is its job, and only Swap/Close contend
 	select {
 	case s.swapc <- sw:
 	case <-s.done:
@@ -631,9 +632,11 @@ func (s *Server) Swap(engines ...Engine) error {
 		// dispatcher alive. Kept so a future Close refactor degrades to
 		// ErrClosed instead of a deadlock.
 		close(g.batches)
+		//dmtvet:allow lockdiscipline defensive drain of the never-started generation; nothing else can hold swapMu once done is closed
 		g.workers.Wait()
 		return ErrClosed
 	}
+	//dmtvet:allow lockdiscipline the dispatcher always replies after taking sw from swapc; swapMu serializes swaps by design
 	old := <-sw.reply
 	// Flush as soon as the dispatcher has switched, not after the old
 	// shards drain: from here on new-generation answers are cacheable,
@@ -650,6 +653,7 @@ func (s *Server) Swap(engines ...Engine) error {
 	s.flightMu.Lock()
 	s.flights = make(map[string]*flight)
 	s.flightMu.Unlock()
+	//dmtvet:allow lockdiscipline Swap's contract is to return only after the old generation drains; swapMu intentionally serializes that wait
 	old.workers.Wait() // old shards have drained and exited
 	s.mu.Lock()
 	s.generation = id

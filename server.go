@@ -330,6 +330,7 @@ func (s *Server) TagBatch(ctx context.Context, texts []string) ([][]string, erro
 func (s *Server) Swap(taggers ...*Tagger) ([]*Tagger, error) {
 	s.refreshMu.Lock()
 	defer s.refreshMu.Unlock()
+	//dmtvet:allow lockdiscipline refreshMu serializes generation changes; its critical section is the drain itself, and request paths never take it
 	return s.swapLocked(taggers)
 }
 
@@ -379,6 +380,7 @@ func (s *Server) SwapEngines(engines ...Engine) error {
 	if err := s.checkNotServing(engines); err != nil {
 		return err
 	}
+	//dmtvet:allow lockdiscipline refreshMu serializes generation changes; its critical section is the drain itself, and request paths never take it
 	if err := s.inner.Swap(adapted...); err != nil {
 		return err
 	}
@@ -444,6 +446,7 @@ func (s *Server) Refresh(build func(shard int) (*Tagger, error)) (int64, error) 
 	if err != nil {
 		return 0, err
 	}
+	//dmtvet:allow lockdiscipline refreshMu serializes generation changes; its critical section is the drain itself, and request paths never take it
 	if _, err := s.swapLocked(taggers); err != nil {
 		return 0, err
 	}
