@@ -1,7 +1,7 @@
 # Local targets mirror the CI job (.github/workflows/ci.yml) exactly, so
 # a green `make check` predicts a green required-checks run.
 
-.PHONY: build test race lint vet check bench
+.PHONY: build test race lint vet fuzz check bench
 
 build:
 	go build ./...
@@ -23,6 +23,14 @@ vet:
 # instantly (-nocache opts out).
 lint:
 	go run ./cmd/dmtvet ./...
+
+# Fuzz the wire decoders: first replay the committed seed corpus
+# (deterministic, what CI runs on every push), then a short live fuzzing
+# smoke against ReadModelSet. Grow the corpus with -fuzztime as needed;
+# new crashers land under internal/wire/testdata/fuzz/ — commit them.
+fuzz:
+	go test ./internal/wire -run 'Fuzz' -count=1
+	go test ./internal/wire -run '^$$' -fuzz 'FuzzReadModelSet' -fuzztime 10s
 
 check: build vet lint race
 

@@ -1,0 +1,367 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/realnet"
+)
+
+// byzMesh is testMesh with the trust quarantine window shrunk to test
+// scale, so demotion and re-probe play out in milliseconds.
+func byzMesh(seed int64, seeds ...string) realnet.Config {
+	cfg := testMesh(seed, nil, seeds...)
+	cfg.TrustQuarantineFor = 100 * time.Millisecond
+	return cfg
+}
+
+// byzStrike is one scripted adversary action: the attack kind and the
+// sequence number its frames carry.
+type byzStrike struct {
+	kind realnet.AttackKind
+	seq  uint64
+}
+
+// TestClusterByzantine is the Byzantine acceptance test: three mesh-joined
+// serving nodes under continuous query load while a scripted adversary
+// injects NaN bombs, weight-scaled poison, label-flipped retrains, forged
+// origin floods and stale replays. Every answer must stay byte-identical
+// to a serial reference, nothing the adversary sends may install, the
+// rejects and trust demotions must show up in /v1/stats, and a dry-run
+// sibling adversary from the same seed must reproduce the exact attack
+// bytes (identical digests).
+func TestClusterByzantine(t *testing.T) {
+	o := clusterOptions()
+	build, queries, trainTexts, err := makeBuild(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probes := queries[:min(12, len(queries))]
+
+	// Serial references, exactly as in TestClusterChaos: the initial
+	// tagger generation and the honestly published model generation.
+	tg, err := build(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refTagger := make(map[string]string, len(probes))
+	for _, q := range probes {
+		tags, err := tg.AutoTag(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refTagger[q] = fmt.Sprint(tags)
+	}
+	set, err := realnet.TrainModelSet(trainTexts, 1, o.seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ens, err := realnet.NewEnsemble(o.threshold, o.maxTags, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ensRows, err := ens.AutoTagBatch(probes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refEnsemble := make(map[string]string, len(probes))
+	for i, q := range probes {
+		refEnsemble[q] = fmt.Sprint(ensRows[i])
+	}
+
+	na := startClusterNode(t, o, build, trainTexts, byzMesh(1))
+	defer na.stop()
+	nb := startClusterNode(t, o, build, trainTexts, byzMesh(2, na.a.mesh.Addr()))
+	defer nb.stop()
+	nc := startClusterNode(t, o, build, trainTexts, byzMesh(3, na.a.mesh.Addr()))
+	defer nc.stop()
+	nodes := map[string]*clusterNode{"node-a": na, "node-b": nb, "node-c": nc}
+	waitFor(t, "membership", func() bool {
+		return len(na.a.mesh.Peers()) >= 2 && len(nb.a.mesh.Peers()) >= 2 && len(nc.a.mesh.Peers()) >= 2
+	})
+
+	// Continuous load: every answer must byte-match one of the two serial
+	// references — any third state the adversary managed to install fails.
+	ctx := t.Context()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for name, n := range nodes {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				q := probes[i%len(probes)]
+				tags, err := n.a.pool.Tag(ctx, q)
+				if err != nil {
+					t.Errorf("%s: dropped request under attack: %v", name, err)
+					return
+				}
+				n.issued.Add(1)
+				if got := fmt.Sprint(tags); got != refTagger[q] && got != refEnsemble[q] {
+					t.Errorf("%s: answer %s for %q matches no honest generation (tagger %s, ensemble %s)",
+						name, got, q, refTagger[q], refEnsemble[q])
+					return
+				}
+				time.Sleep(200 * time.Microsecond)
+			}
+		}()
+	}
+	time.Sleep(20 * time.Millisecond)
+
+	// The live adversary targets every node. Its base set is honestly
+	// trained, so its poison is plausible — corrupted models, not noise.
+	const adversaryOrigin = "10.9.9.9:7000"
+	adv, err := realnet.NewAdversary(realnet.AdversaryConfig{
+		Seed:    99,
+		Origin:  adversaryOrigin,
+		Targets: []string{na.a.mesh.Addr(), nb.a.mesh.Addr(), nc.a.mesh.Addr()},
+		Docs:    trainTexts,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase 1, before any honest publish: poison at sequence numbers far
+	// ahead of anything legitimate. All of it must be rejected — one
+	// reject per poisoned frame per node (the flood forges 4 origins).
+	preStrikes := []byzStrike{
+		{realnet.AttackNaNBomb, 100},
+		{realnet.AttackWeightScale, 101},
+		{realnet.AttackLabelFlip, 102},
+		{realnet.AttackForgedFlood, 103},
+	}
+	for _, s := range preStrikes {
+		if err := adv.Strike(s.kind, s.seq); err != nil {
+			t.Fatalf("strike %v seq %d: %v", s.kind, s.seq, err)
+		}
+	}
+	for name, n := range nodes {
+		waitFor(t, name+" rejected the poison barrage", func() bool {
+			return n.a.mesh.Transport().Rejects >= 7
+		})
+		if got := n.installedSeq(); got != 0 {
+			t.Fatalf("%s: installed generation %d from the adversary", name, got)
+		}
+	}
+
+	// The honest publish must go through despite the standing attack: the
+	// adversary's high sequence numbers never became anyone's current
+	// generation (rejected frames don't advance the order).
+	resp, err := http.Post(na.ts.URL+"/v1/publish", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pub struct {
+		Seq    uint64 `json:"seq"`
+		Origin string `json:"origin"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&pub); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || pub.Seq != 1 {
+		t.Fatalf("publish: status %d, seq %d", resp.StatusCode, pub.Seq)
+	}
+	for name, n := range nodes {
+		waitFor(t, name+" installed the honest generation", func() bool {
+			return n.installedSeq() == pub.Seq
+		})
+	}
+
+	// Phase 2, after the publish: a stale replay of the adversary's honest
+	// base set at the already-installed sequence (deduplicated, not even a
+	// trust event) and one more NaN bomb ahead of the order (rejected).
+	postStrikes := []byzStrike{
+		{realnet.AttackStaleReplay, 1},
+		{realnet.AttackNaNBomb, 150},
+	}
+	for _, s := range postStrikes {
+		if err := adv.Strike(s.kind, s.seq); err != nil {
+			t.Fatalf("strike %v seq %d: %v", s.kind, s.seq, err)
+		}
+	}
+	for name, n := range nodes {
+		waitFor(t, name+" rejected the post-publish poison", func() bool {
+			return n.a.mesh.Transport().Rejects >= 8
+		})
+		if got := n.installedSeq(); got != pub.Seq {
+			t.Fatalf("%s: serving generation %d, want the honest %d", name, got, pub.Seq)
+		}
+	}
+
+	close(stop)
+	wg.Wait()
+
+	// Zero drops, byte-identical convergence, accounting identity.
+	for name, n := range nodes {
+		for _, q := range probes {
+			tags, err := n.a.pool.Tag(ctx, q)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			n.issued.Add(1)
+			if got := fmt.Sprint(tags); got != refEnsemble[q] {
+				t.Errorf("%s: answer %s for %q, serial ensemble says %s", name, got, q, refEnsemble[q])
+			}
+		}
+		n.checkIdentity(t, name)
+	}
+
+	// /v1/stats must surface the attack: nonzero transport rejects and a
+	// demoted adversary in the trust section, plus the forged origins.
+	statsResp, err := http.Get(na.ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st statsResponse
+	if err := json.NewDecoder(statsResp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	statsResp.Body.Close()
+	if st.Mesh == nil {
+		t.Fatal("/v1/stats has no mesh section in cluster mode")
+	}
+	if st.Mesh.Transport.Rejects == 0 {
+		t.Error("/v1/stats shows zero rejects after a poison barrage")
+	}
+	ot, ok := st.Mesh.Trust.Origins[adversaryOrigin]
+	if !ok {
+		t.Fatalf("/v1/stats trust section has no entry for the adversary: %+v", st.Mesh.Trust.Origins)
+	}
+	if ot.Rejected == 0 || ot.Score >= 1 {
+		t.Errorf("adversary not demoted: %+v", ot)
+	}
+	demotedForged := 0
+	for origin, o := range st.Mesh.Trust.Origins {
+		if strings.HasPrefix(origin, "203.0.113.") && o.Rejected > 0 && o.Score < 1 {
+			demotedForged++
+		}
+	}
+	if demotedForged == 0 {
+		t.Errorf("no forged flood origin was demoted: %+v", st.Mesh.Trust.Origins)
+	}
+
+	// Reproducibility: a dry-run sibling adversary (same seed, no targets)
+	// replaying the same script builds byte-identical attacks — the
+	// digests match, so the whole run is pinned by a single seed.
+	dry, err := realnet.NewAdversary(realnet.AdversaryConfig{
+		Seed:   99,
+		Origin: adversaryOrigin,
+		Docs:   trainTexts,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range append(append([]byzStrike(nil), preStrikes...), postStrikes...) {
+		if err := dry.Strike(s.kind, s.seq); err != nil {
+			t.Fatalf("dry strike %v seq %d: %v", s.kind, s.seq, err)
+		}
+	}
+	if live, replay := adv.Digest(), dry.Digest(); live != replay {
+		t.Errorf("attack digests diverge: live %#x, dry replay %#x", live, replay)
+	}
+}
+
+// TestPublishInputValidation drives POST /v1/publish through every
+// malformed-body shape: each must come back 400 with a structured error
+// and leave the node serving its initial generation, while a valid custom
+// document set trains and publishes.
+func TestPublishInputValidation(t *testing.T) {
+	o := clusterOptions()
+	build, _, trainTexts, err := makeBuild(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := startClusterNode(t, o, build, trainTexts, byzMesh(1))
+	defer n.stop()
+
+	post := func(body string) (int, string) {
+		t.Helper()
+		resp, err := http.Post(n.ts.URL+"/v1/publish", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var payload map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&payload); err != nil {
+			t.Fatalf("non-JSON response to %q: %v", body, err)
+		}
+		msg, _ := payload["error"].(string)
+		return resp.StatusCode, msg
+	}
+
+	tooMany := `{"docs":[` + strings.Repeat(`{"text":"x","tags":["t"]},`, maxPublishDocs) +
+		`{"text":"x","tags":["t"]}]}`
+	bad := []struct {
+		name, body string
+	}{
+		{"malformed JSON", `{"docs":[`},
+		{"trailing garbage", `{"docs":null} extra`},
+		{"explicitly empty document set", `{"docs":[]}`},
+		{"document with blank text", `{"docs":[{"text":"   ","tags":["music"]}]}`},
+		{"document with no tags", `{"docs":[{"text":"a song"}]}`},
+		{"document with a blank tag", `{"docs":[{"text":"a song","tags":[""]}]}`},
+		{"too many documents", tooMany},
+		{"untrainable single-label corpus", `{"docs":[{"text":"a song","tags":["music"]}]}`},
+	}
+	for _, tc := range bad {
+		code, msg := post(tc.body)
+		if code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", tc.name, code)
+		}
+		if msg == "" {
+			t.Errorf("%s: 400 without a structured error message", tc.name)
+		}
+	}
+
+	// An oversized body must be cut off at the wire cap, not buffered.
+	huge := `{"docs":[{"text":"` + strings.Repeat("x", maxPublishBytes+1024) + `","tags":["t"]}]}`
+	if code, msg := post(huge); code != http.StatusBadRequest || msg == "" {
+		t.Errorf("oversized body: status %d, error %q; want 400 with a message", code, msg)
+	}
+
+	if got := n.installedSeq(); got != 0 {
+		t.Fatalf("a rejected publish installed generation %d", got)
+	}
+
+	// A valid custom corpus trains, publishes and installs.
+	var body bytes.Buffer
+	body.WriteString(`{"docs":[`)
+	for i, d := range trainTexts {
+		if i > 0 {
+			body.WriteString(",")
+		}
+		doc, err := json.Marshal(publishDoc{Text: d.Text, Tags: d.Tags})
+		if err != nil {
+			t.Fatal(err)
+		}
+		body.Write(doc)
+	}
+	body.WriteString(`]}`)
+	resp, err := http.Post(n.ts.URL+"/v1/publish", "application/json", &body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pub struct {
+		Seq uint64 `json:"seq"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&pub); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || pub.Seq != 1 {
+		t.Fatalf("valid publish: status %d, seq %d", resp.StatusCode, pub.Seq)
+	}
+	waitFor(t, "custom-corpus generation installed", func() bool { return n.installedSeq() == 1 })
+}

@@ -27,6 +27,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"os"
@@ -49,9 +50,41 @@ func meshConfig(o options) realnet.Config {
 	return realnet.Config{ListenAddr: o.mesh, Seeds: seeds, Seed: o.seed}
 }
 
+// maxPublishBytes bounds a /v1/publish request body; maxPublishDocs caps
+// how many documents one publish may train on.
+const (
+	maxPublishBytes = 8 << 20
+	maxPublishDocs  = 4096
+)
+
+// probeSampleSize is how many training documents seed the mesh node's
+// holdout probe when the flags don't configure one explicitly.
+const probeSampleSize = 32
+
+// probeSample picks a deterministic holdout slice from the training split
+// for the Byzantine admission probe: every node samples the same way, so
+// the whole cluster agrees on what an inbound generation must get right.
+func probeSample(docs []realnet.TaggedText, n int) []realnet.TaggedText {
+	if len(docs) <= n {
+		return docs
+	}
+	out := make([]realnet.TaggedText, 0, n)
+	step := len(docs) / n
+	for i := 0; i < len(docs) && len(out) < n; i += step {
+		out = append(out, docs[i])
+	}
+	return out
+}
+
 // startMesh joins the realnet mesh: gossiped model generations install
-// into the live pool as they arrive.
+// into the live pool as they arrive — after passing the realnet admission
+// pipeline, which this wires a holdout probe into (sampled from the
+// training split unless the config brings its own), so SwapEngines only
+// ever installs trust-admitted generations.
 func (a *app) startMesh(cfg realnet.Config) error {
+	if cfg.ProbeDocs == nil {
+		cfg.ProbeDocs = probeSample(a.trainTexts, probeSampleSize)
+	}
 	cfg.OnGeneration = func(gen realnet.Generation) {
 		if a.draining.Load() {
 			return
@@ -108,21 +141,77 @@ func (a *app) installGeneration(gen realnet.Generation) error {
 }
 
 // trainGeneration builds the model set a /v1/publish gossips: per-tag
-// calibrated linear models over the corpus training split. Deterministic
-// in (corpus, seed), so any node publishing from the same flags produces
-// the same bytes.
-func (a *app) trainGeneration() (*realnet.ModelSet, error) {
-	if len(a.trainTexts) == 0 {
+// calibrated linear models over docs (the corpus training split when docs
+// is nil). Deterministic in (docs, seed), so any node publishing from the
+// same inputs produces the same bytes.
+func (a *app) trainGeneration(docs []realnet.TaggedText) (*realnet.ModelSet, error) {
+	if docs == nil {
+		docs = a.trainTexts
+	}
+	if len(docs) == 0 {
 		return nil, errors.New("no training texts")
 	}
-	return realnet.TrainModelSet(a.trainTexts, 1, a.o.seed)
+	return realnet.TrainModelSet(docs, 1, a.o.seed)
 }
 
-// handlePublish is POST /v1/publish: train a generation, install it
-// locally, flood it to the mesh, and report the per-peer outcome.
+// publishDoc is one labeled training document in a /v1/publish body.
+type publishDoc struct {
+	Text string   `json:"text"`
+	Tags []string `json:"tags"`
+}
+
+// parsePublishDocs validates an optional /v1/publish request body. An
+// empty body means "train on the configured corpus" (nil, nil); a JSON
+// body must carry a non-empty, bounded document set with per-document
+// text and at least one tag — anything else is a client error, reported
+// before any training runs on it.
+func parsePublishDocs(r *http.Request) ([]realnet.TaggedText, error) {
+	var req struct {
+		Docs []publishDoc `json:"docs"`
+	}
+	err := json.NewDecoder(r.Body).Decode(&req)
+	if errors.Is(err, io.EOF) {
+		return nil, nil // no body: use the configured corpus
+	}
+	if err != nil {
+		return nil, fmt.Errorf("bad request body: %w", err)
+	}
+	if len(req.Docs) == 0 {
+		return nil, errors.New("empty document set")
+	}
+	if len(req.Docs) > maxPublishDocs {
+		return nil, fmt.Errorf("%d documents exceed the cap of %d", len(req.Docs), maxPublishDocs)
+	}
+	docs := make([]realnet.TaggedText, len(req.Docs))
+	for i, d := range req.Docs {
+		if strings.TrimSpace(d.Text) == "" {
+			return nil, fmt.Errorf("document %d has empty text", i)
+		}
+		if len(d.Tags) == 0 {
+			return nil, fmt.Errorf("document %d has no tags", i)
+		}
+		for _, tag := range d.Tags {
+			if strings.TrimSpace(tag) == "" {
+				return nil, fmt.Errorf("document %d has an empty tag", i)
+			}
+		}
+		docs[i] = realnet.TaggedText{Text: d.Text, Tags: d.Tags}
+	}
+	return docs, nil
+}
+
+// handlePublish is POST /v1/publish: validate the (optional) document
+// payload, train a generation, install it locally, flood it to the mesh,
+// and report the per-peer outcome.
 func (a *app) handlePublish(w http.ResponseWriter, r *http.Request) {
 	if a.draining.Load() {
 		httpError(w, http.StatusServiceUnavailable, errors.New("draining"))
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, maxPublishBytes)
+	docs, err := parsePublishDocs(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
 		return
 	}
 	if !a.refreshing.CompareAndSwap(false, true) {
@@ -131,9 +220,9 @@ func (a *app) handlePublish(w http.ResponseWriter, r *http.Request) {
 	}
 	defer a.refreshing.Store(false)
 	start := time.Now()
-	set, err := a.trainGeneration()
+	set, err := a.trainGeneration(docs)
 	if err != nil {
-		httpError(w, http.StatusInternalServerError, err)
+		httpError(w, http.StatusBadRequest, fmt.Errorf("untrainable document set: %w", err))
 		return
 	}
 	gen, sum, err := a.mesh.PublishGeneration(set)
@@ -165,6 +254,7 @@ type meshStatus struct {
 	Addr       string                 `json:"addr"`
 	Peers      []string               `json:"peers"`
 	Transport  realnet.TransportStats `json:"transport"`
+	Trust      realnet.TrustStats     `json:"trust"`
 	Generation *installedGeneration   `json:"generation,omitempty"`
 }
 
@@ -191,6 +281,7 @@ func (a *app) statsPayload() statsResponse {
 		Addr:      a.mesh.Addr(),
 		Peers:     a.mesh.Peers(),
 		Transport: a.mesh.Transport(),
+		Trust:     a.mesh.Trust(),
 	}
 	a.genMu.Lock()
 	if g := a.lastGen; g != nil {
@@ -271,7 +362,7 @@ func runClusterLoadgen(o options, build func(int) (*doctagger.Tagger, error),
 	// Publish a generation on node 0 and time cluster-wide convergence:
 	// every node (publisher included) must install it through the swap
 	// path while the workload above has already warmed the pools.
-	set, err := apps[0].trainGeneration()
+	set, err := apps[0].trainGeneration(nil)
 	if err != nil {
 		return err
 	}

@@ -160,6 +160,37 @@
 // reference with zero dropped requests. "-loadgen-cluster" benchmarks the
 // composition in-process and writes BENCH_cluster.json.
 //
+// # Adversarial resilience
+//
+// The mesh assumes Byzantine peers, not just crashed ones. Every inbound
+// generation runs a validation pipeline before it touches any state: a
+// wire-size budget, a content digest carried in the frame (wire.Checksum
+// over the encoded set — corrupt or tampered bytes fail before the
+// decoder runs), hardened wire decoders whose allocations grow
+// incrementally against claimed lengths (fuzzed, with a committed seed
+// corpus), structural validation (tag/dimension caps, finite-weight scan
+// rejecting NaN/Inf), and a holdout probe scoring the set against a small
+// local corpus — plausible-looking but systematically wrong models
+// (weight-scaled, label-flipped) fail here. Rejections feed a per-origin
+// trust ledger: a rejected origin's score halves and it is quarantined
+// for a seed-jittered window (runner.DeriveSeed per origin), after which
+// the next generation it gossips is re-probed; accepted generations
+// rebuild score. Only trust-admitted generations install, relay, or reach
+// the serving swap — and trust scores multiply into the Ensemble vote
+// (NewWeightedEnsemble), with full trust exactly bit-invisible so the
+// byte-determinism pins hold. Stale (sequence, origin) echoes are normal
+// gossip traffic, deduplicated without charging trust.
+//
+// realnet.Adversary is the attack side: a deterministic scripted
+// Byzantine peer (NaN bombs, weight-scaled poison, label-flipped
+// retrains, stale replays, forged-origin floods — every corruption drawn
+// from runner.DeriveSeed streams) that folds each frame it builds into a
+// digest, so a dry run pins byte-for-byte what a live run injected.
+// TestClusterByzantine (cmd/p2pserve) drives it against a serving cluster
+// under continuous load: every answer stays byte-identical to the serial
+// reference, nothing poisoned installs, and /v1/stats shows the rejects
+// and demoted trust.
+//
 // # Inference fast path
 //
 // Every cache miss runs the zero-allocation inference fast path:

@@ -81,10 +81,18 @@ func (n *Node) CurrentGeneration() (Generation, bool) {
 	return *n.cur, true
 }
 
-// onGeneration handles one gossiped generation frame: validate, dedup by
-// (Seq, Origin), then — off the reader goroutine — relay to the rest of
-// the mesh and hand the generation to the application callback.
+// onGeneration handles one gossiped generation frame through the full
+// Byzantine admission pipeline: size budget, decode + content digest,
+// origin validity, dedup by (Seq, Origin) — a stale echo is normal gossip
+// traffic, never a trust event — then trust admission, structural
+// validation, and the holdout probe. Only an admitted generation touches
+// the peer tables, gets relayed, or reaches the application callback; a
+// rejected one demotes and quarantines its origin.
 func (n *Node) onGeneration(payload []byte) {
+	if len(payload) > n.cfg.MaxGenBytes {
+		n.tr.noteCorrupt()
+		return
+	}
 	g, err := decodeGeneration(payload)
 	if err != nil {
 		n.tr.noteCorrupt()
@@ -98,6 +106,28 @@ func (n *Node) onGeneration(payload []byte) {
 		return
 	}
 	n.mu.Lock()
+	stale := !g.newerThan(n.cur)
+	n.mu.Unlock()
+	if stale {
+		return
+	}
+	now := time.Now()
+	if !n.trust.admitted(g.Origin, now) {
+		n.tr.noteReject(g.Origin)
+		return
+	}
+	if err := validateModelSet(g.Set, n.cfg.MaxSetTags, n.cfg.MaxModelDim); err != nil {
+		n.rejectOrigin(g.Origin, now)
+		return
+	}
+	if len(n.probe) > 0 && n.probeAccuracy(g.Set) < n.cfg.ProbeFloor {
+		n.rejectOrigin(g.Origin, now)
+		return
+	}
+	n.trust.accept(g.Origin, now)
+	n.mu.Lock()
+	// Re-check the order: another admitted generation may have raced past
+	// while this one was being validated and probed.
 	if !g.newerThan(n.cur) {
 		n.mu.Unlock()
 		return
@@ -152,15 +182,21 @@ func (n *Node) gossipLoop() {
 }
 
 // encodeGeneration lays a generation out as
-// [seq uint64][origin string][wire model set].
+// [seq uint64][origin string][digest uint64][wire model set], where the
+// digest is wire.Checksum over the encoded set bytes: a frame whose set
+// was corrupted or tampered with in flight fails the digest check before
+// the model-set decoder ever runs on it.
 func encodeGeneration(g Generation) ([]byte, error) {
+	var set bytes.Buffer
+	if err := wire.WriteModelSet(&set, g.Set.toWire()); err != nil {
+		return nil, err
+	}
 	var buf bytes.Buffer
 	_ = binary.Write(&buf, binary.LittleEndian, g.Seq)
 	_ = binary.Write(&buf, binary.LittleEndian, uint16(len(g.Origin)))
 	buf.WriteString(g.Origin)
-	if err := wire.WriteModelSet(&buf, g.Set.toWire()); err != nil {
-		return nil, err
-	}
+	_ = binary.Write(&buf, binary.LittleEndian, wire.Checksum(set.Bytes()))
+	buf.Write(set.Bytes())
 	return buf.Bytes(), nil
 }
 
@@ -179,9 +215,20 @@ func decodeGeneration(payload []byte) (Generation, error) {
 		return Generation{}, fmt.Errorf("realnet: generation origin: %w", err)
 	}
 	g.Origin = string(ob)
+	var digest uint64
+	if err := binary.Read(r, binary.LittleEndian, &digest); err != nil {
+		return Generation{}, fmt.Errorf("realnet: generation digest: %w", err)
+	}
+	rest := payload[len(payload)-r.Len():]
+	if wire.Checksum(rest) != digest {
+		return Generation{}, fmt.Errorf("realnet: generation content digest mismatch")
+	}
 	set, err := wire.ReadModelSet(r)
 	if err != nil {
 		return Generation{}, err
+	}
+	if r.Len() != 0 {
+		return Generation{}, fmt.Errorf("realnet: %d trailing bytes after generation", r.Len())
 	}
 	g.Set = modelSetFromWire(set)
 	return g, nil

@@ -456,3 +456,101 @@ func trainingTexts(topic int) []TaggedText {
 	}
 	return out
 }
+
+// TestQuarantineReprobeTiming pins the re-probe schedule around the
+// quarantine window: once a peer is quarantined, no send dials it before
+// the deterministic window (QuarantineFor from the quarantining failure)
+// expires — even when the peer is healthy again — and every in-window
+// broadcast reports it in the Failed map with ErrPeerQuarantined. The
+// first send after expiry is the re-probe, and its success fully restores
+// the peer: failure streak cleared, quarantine flag dropped, broadcasts
+// reaching it again with an empty Failed map.
+func TestQuarantineReprobeTiming(t *testing.T) {
+	const window = 500 * time.Millisecond
+	var dead atomic.Bool
+	var dials atomic.Int64
+	dead.Store(true)
+	nd, err := Start(Config{
+		Seed:            3,
+		MaxAttempts:     1,
+		BackoffBase:     time.Millisecond,
+		BackoffMax:      2 * time.Millisecond,
+		QuarantineAfter: 2,
+		QuarantineFor:   window,
+		Dial: func(addr string, timeout time.Duration) (net.Conn, error) {
+			dials.Add(1)
+			if dead.Load() {
+				return nil, errors.New("injected: unreachable")
+			}
+			return net.DialTimeout("tcp", addr, timeout)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nd.Close()
+	target, err := Start(Config{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer target.Close()
+	peer := target.Addr()
+	nd.addPeer(peer)
+
+	// Two failing broadcasts exhaust the quarantine budget; each reports
+	// the peer in its Failed map.
+	for i := 0; i < 2; i++ {
+		sum := nd.broadcastHello()
+		if _, failed := sum.Failed[peer]; !failed || sum.Reached != 0 {
+			t.Fatalf("broadcast %d to dead peer: %+v, want it in Failed", i, sum)
+		}
+	}
+	quarantinedAt := time.Now()
+	dialsAtQuarantine := dials.Load()
+	if st := nd.Transport().Peers[peer]; !st.Quarantined || st.ConsecutiveFailures != 2 {
+		t.Fatalf("after budget exhausted: %+v, want quarantined with streak 2", st)
+	}
+
+	// Heal the peer immediately: the window must hold anyway. In-window
+	// broadcasts fast-fail with ErrPeerQuarantined and never dial.
+	dead.Store(false)
+	sum := nd.broadcastHello()
+	if err, failed := sum.Failed[peer]; !failed || !errors.Is(err, ErrPeerQuarantined) {
+		t.Fatalf("in-window broadcast: %+v, want ErrPeerQuarantined in Failed", sum)
+	}
+	if got := dials.Load(); got != dialsAtQuarantine {
+		t.Fatalf("quarantined peer was dialed during its window (%d dials, had %d)", got, dialsAtQuarantine)
+	}
+
+	// Poll until the re-probe goes through. Every broadcast that still
+	// fails must be the fast-fail — never a dial — until the window has
+	// expired; the one that succeeds must come after it.
+	waitFor(t, "re-probe after the window", func() bool {
+		sum := nd.broadcastHello()
+		if len(sum.Failed) == 0 {
+			return true
+		}
+		if err := sum.Failed[peer]; !errors.Is(err, ErrPeerQuarantined) {
+			t.Fatalf("in-window broadcast failed with %v, want ErrPeerQuarantined", err)
+		}
+		if got := dials.Load(); got != dialsAtQuarantine {
+			t.Fatalf("dialed before the quarantine window expired")
+		}
+		return false
+	})
+	if elapsed := time.Since(quarantinedAt); elapsed < window {
+		t.Errorf("re-probe succeeded %v after quarantine, window is %v", elapsed, window)
+	}
+	if got := dials.Load(); got != dialsAtQuarantine+1 {
+		t.Errorf("re-probe took %d dials, want exactly 1", got-dialsAtQuarantine)
+	}
+	st := nd.Transport().Peers[peer]
+	if st.Quarantined || st.ConsecutiveFailures != 0 || st.FramesOut != 1 {
+		t.Fatalf("after re-probe: %+v, want fully restored with 1 frame out", st)
+	}
+	// Restored means restored: the next broadcast reaches the peer with a
+	// clean summary.
+	if sum := nd.broadcastHello(); len(sum.Failed) != 0 || sum.Reached != 1 {
+		t.Errorf("post-restore broadcast: %+v, want clean reach", sum)
+	}
+}

@@ -114,6 +114,29 @@ type Config struct {
 	// invented self-reported addresses; default 256.
 	MaxPeers int
 
+	// MaxSetTags and MaxModelDim bound the structure of an inbound model
+	// set (tag count and per-model dense dimension); MaxGenBytes bounds
+	// the encoded size of an inbound generation frame. Together with the
+	// finite-weight scan they are the structural half of the Byzantine
+	// admission pipeline. Defaults 4096 tags, 1<<22 dims, 32 MiB.
+	MaxSetTags  int
+	MaxModelDim int
+	MaxGenBytes int
+	// ProbeDocs, when set, is a small local holdout scoring set: every
+	// structurally valid inbound generation is scored against it and
+	// rejected when its per-(document, tag) accuracy falls below
+	// ProbeFloor (default 0.5 — no better than chance). This is what
+	// catches semantically poisoned sets (label flips, scaled weights)
+	// whose numbers are individually unremarkable. Nil disables probing.
+	ProbeDocs  []TaggedText
+	ProbeFloor float64
+	// TrustQuarantineFor is the per-origin trust quarantine window: after
+	// a rejected publication the origin's generations are refused outright
+	// until the window (plus jitter derived from runner.DeriveSeed per
+	// origin) expires, and the next publication is the re-probe. Default
+	// 5s.
+	TrustQuarantineFor time.Duration
+
 	// Dial overrides the dialer; default net.DialTimeout on "tcp".
 	Dial DialFunc
 	// OnGeneration, when set, is invoked for every accepted gossiped
@@ -159,6 +182,21 @@ func (cfg *Config) defaults() {
 	}
 	if cfg.MaxPeers == 0 {
 		cfg.MaxPeers = 256
+	}
+	if cfg.MaxSetTags == 0 {
+		cfg.MaxSetTags = 4096
+	}
+	if cfg.MaxModelDim == 0 {
+		cfg.MaxModelDim = 1 << 22
+	}
+	if cfg.MaxGenBytes == 0 {
+		cfg.MaxGenBytes = 32 << 20
+	}
+	if cfg.ProbeFloor == 0 {
+		cfg.ProbeFloor = 0.5
+	}
+	if cfg.TrustQuarantineFor == 0 {
+		cfg.TrustQuarantineFor = 5 * time.Second
 	}
 	if cfg.Dial == nil {
 		cfg.Dial = func(addr string, timeout time.Duration) (net.Conn, error) {
@@ -207,6 +245,29 @@ func (ms *ModelSet) toWire() map[string]wire.CalibratedModel {
 	out := make(map[string]wire.CalibratedModel, len(ms.Models))
 	for tag, m := range ms.Models {
 		out[tag] = wire.CalibratedModel{Model: m, Platt: ms.Platt[tag], Accuracy: ms.Accuracy[tag]}
+	}
+	return out
+}
+
+// clone deep-copies the set — weights included — so a caller may corrupt
+// the copy (the adversary harness does exactly that) without violating
+// the original's immutability contract. The clone's fused matrix is
+// rebuilt lazily from the copied weights.
+func (ms *ModelSet) clone() *ModelSet {
+	out := &ModelSet{
+		Models:   make(map[string]*svm.LinearModel, len(ms.Models)),
+		Platt:    make(map[string]svm.PlattParams, len(ms.Platt)),
+		Accuracy: make(map[string]float64, len(ms.Accuracy)),
+	}
+	for tag, m := range ms.Models {
+		cp := &svm.LinearModel{W: append([]float64(nil), m.W...), Bias: m.Bias}
+		out.Models[tag] = cp
+	}
+	for tag, p := range ms.Platt {
+		out.Platt[tag] = p
+	}
+	for tag, a := range ms.Accuracy {
+		out.Accuracy[tag] = a
 	}
 	return out
 }
@@ -286,10 +347,12 @@ func trainSet(docs []protocol.Doc, c float64, seed int64) (*ModelSet, error) {
 // Node is one real-network tagging peer. All exported methods are safe for
 // concurrent use.
 type Node struct {
-	cfg Config
-	pre *textproc.Preprocessor
-	ln  net.Listener
-	tr  *transport
+	cfg   Config
+	pre   *textproc.Preprocessor
+	ln    net.Listener
+	tr    *transport
+	trust *trustLedger
+	probe []probeDoc // vectorized holdout scoring set, immutable after Start
 
 	mu         sync.Mutex
 	docs       []protocol.Doc
@@ -334,6 +397,17 @@ func Start(cfg Config) (*Node, error) {
 		stop:   make(chan struct{}),
 	}
 	n.tr = newTransport(cfg, n.stop)
+	n.trust = newTrustLedger(cfg.Seed, cfg.TrustQuarantineFor, cfg.MaxPeers)
+	for _, d := range cfg.ProbeDocs {
+		if len(d.Tags) == 0 {
+			continue
+		}
+		has := make(map[string]bool, len(d.Tags))
+		for _, tag := range d.Tags {
+			has[tag] = true
+		}
+		n.probe = append(n.probe, probeDoc{x: n.pre.Vectorize(d.Text), has: has})
+	}
 	n.wg.Add(1)
 	go n.acceptLoop()
 	for i := 0; i < taskWorkers; i++ {
@@ -466,13 +540,19 @@ func (n *Node) broadcast(typ byte, payload []byte) PublishSummary {
 // Suggest scores every known tag for text using the ensemble of all model
 // sets this node holds (its own plus every peer's), weighted by
 // cross-validated accuracy over chance, pooled in log-odds space — the
-// same vote as the simulated PACE protocol with k = all.
+// same vote as the simulated PACE protocol with k = all. Each remote
+// set's contribution is additionally scaled by its origin's trust score
+// (1.0 for origins that have never misbehaved, so in an all-honest mesh
+// the weighting is byte-invisible); sets from presently quarantined
+// origins are excluded from the vote entirely.
 func (n *Node) Suggest(text string) ([]metrics.ScoredTag, error) {
 	x := n.pre.Vectorize(text)
 	n.mu.Lock()
 	sets := make([]*ModelSet, 0, len(n.remote)+1)
+	owns := 0
 	if n.own != nil {
 		sets = append(sets, n.own)
+		owns = 1
 	}
 	addrs := make([]string, 0, len(n.remote))
 	for a := range n.remote {
@@ -483,29 +563,91 @@ func (n *Node) Suggest(text string) ([]metrics.ScoredTag, error) {
 		sets = append(sets, n.remote[a])
 	}
 	n.mu.Unlock()
-	if len(sets) == 0 {
+	// Trust lookups happen outside n.mu: the ledger has its own lock and
+	// nothing here needs the two views to be atomic with each other.
+	now := time.Now()
+	weights := make([]float64, owns, len(sets))
+	for i := range weights {
+		weights[i] = 1 // the node's own set is always fully trusted
+	}
+	kept := sets[:owns]
+	for i, a := range addrs {
+		if n.trust.quarantined(a, now) {
+			continue
+		}
+		kept = append(kept, sets[owns+i])
+		weights = append(weights, n.trust.weight(a))
+	}
+	if len(kept) == 0 {
 		return nil, errors.New("realnet: no models known yet (publish or wait for peers)")
 	}
-	out, _ := suggestFromSets(x.Entries(), sets, nil)
+	out, _ := suggestFromSets(x.Entries(), kept, weights, nil)
 	return out, nil
 }
 
+// probeDoc is one vectorized holdout document for the admission probe.
+type probeDoc struct {
+	x   *vector.Sparse
+	has map[string]bool
+}
+
+// probeAccuracy scores an inbound set against the node's local holdout
+// documents: for every (document, tag-in-set) pair, does the calibrated
+// model agree with the local labels? Honest sets trained on comparable
+// corpora score well above chance; label-flipped or sign-scaled poison
+// scores below it. Runs with local scratch only — safe from concurrent
+// reader goroutines.
+func (n *Node) probeAccuracy(ms *ModelSet) float64 {
+	f := ms.ensureFused()
+	if f == nil {
+		return 0
+	}
+	correct, total := 0, 0
+	var dec []float64
+	for _, pd := range n.probe {
+		dec = f.ScoreEntriesInto(pd.x.Entries(), dec)
+		for i, tag := range f.Tags() {
+			predicted := ms.Platt[tag].Prob(dec[i]) >= 0.5
+			if predicted == pd.has[tag] {
+				correct++
+			}
+			total++
+		}
+	}
+	if total == 0 {
+		return 1
+	}
+	return float64(correct) / float64(total)
+}
+
 // suggestFromSets pools per-tag probabilities across sets — accuracy over
-// chance as the weight, log-odds space for the vote. entries is the
-// query's sorted sparse entries, read synchronously and never retained,
-// so streaming callers can pass pooled preprocessing scratch; dec is
-// scratch reused across sets (and across calls, when the caller keeps it).
-func suggestFromSets(entries []vector.Entry, sets []*ModelSet, dec []float64) ([]metrics.ScoredTag, []float64) {
+// chance as the weight, log-odds space for the vote. weights, when
+// non-nil, holds one trust multiplier per set that scales that set's
+// contribution (a weight of exactly 1.0 is bit-invisible: x*1.0 == x for
+// every finite x, so trust weighting cannot perturb the byte-determinism
+// pins of an all-honest ensemble); a weight ≤ 0 excludes the set. entries
+// is the query's sorted sparse entries, read synchronously and never
+// retained, so streaming callers can pass pooled preprocessing scratch;
+// dec is scratch reused across sets (and across calls, when the caller
+// keeps it).
+func suggestFromSets(entries []vector.Entry, sets []*ModelSet, weights []float64, dec []float64) ([]metrics.ScoredTag, []float64) {
 	logitSum := map[string]float64{}
 	weightSum := map[string]float64{}
-	for _, ms := range sets {
+	for si, ms := range sets {
+		tw := 1.0
+		if weights != nil {
+			tw = weights[si]
+		}
+		if tw <= 0 {
+			continue
+		}
 		f := ms.ensureFused()
 		if f == nil {
 			continue
 		}
 		dec = f.ScoreEntriesInto(entries, dec)
 		for i, tag := range f.Tags() {
-			w := ms.Accuracy[tag] - 0.5
+			w := (ms.Accuracy[tag] - 0.5) * tw
 			if w <= 0 {
 				continue
 			}
@@ -675,6 +817,25 @@ func (n *Node) onModels(payload []byte) {
 		n.tr.noteCorrupt()
 		return
 	}
+	// Peer broadcasts pass the same admission pipeline as generations: a
+	// quarantined sender is refused outright, a structurally poisoned set
+	// demotes and quarantines its sender, and a probe failure (when a
+	// holdout set is configured) does the same — so a poisoned set never
+	// enters the remote table the Suggest vote reads.
+	now := time.Now()
+	if !n.trust.admitted(sender, now) {
+		n.tr.noteReject(sender)
+		return
+	}
+	if err := validateModelSet(ms, n.cfg.MaxSetTags, n.cfg.MaxModelDim); err != nil {
+		n.rejectOrigin(sender, now)
+		return
+	}
+	if len(n.probe) > 0 && n.probeAccuracy(ms) < n.cfg.ProbeFloor {
+		n.rejectOrigin(sender, now)
+		return
+	}
+	n.trust.accept(sender, now)
 	n.mu.Lock()
 	if _, known := n.remote[sender]; !known && len(n.remote) >= n.cfg.MaxPeers {
 		n.mu.Unlock()
@@ -686,6 +847,18 @@ func (n *Node) onModels(payload []byte) {
 	}
 	n.mu.Unlock()
 	n.tr.creditIn(sender, len(payload))
+}
+
+// rejectOrigin records one failed admission: the origin's trust halves
+// and it is quarantined, the rejection is charged to it in the transport
+// counters, and any model set it previously parked in the remote table is
+// evicted from the vote.
+func (n *Node) rejectOrigin(origin string, now time.Time) {
+	n.trust.reject(origin, now)
+	n.tr.noteReject(origin)
+	n.mu.Lock()
+	delete(n.remote, origin)
+	n.mu.Unlock()
 }
 
 func (n *Node) addPeer(addr string) {

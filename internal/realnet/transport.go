@@ -37,6 +37,11 @@ type PeerStats struct {
 	FramesIn  int64 `json:"frames_in"`
 	BytesIn   int64 `json:"bytes_in"`
 
+	// Rejects counts inbound generations from this origin that were
+	// refused by the Byzantine admission pipeline (quarantined origin,
+	// structural validation failure, or holdout-probe failure).
+	Rejects int64 `json:"rejects"`
+
 	// ConsecutiveFailures is the current failure streak; Quarantined
 	// reports whether the peer is presently fast-failing sends.
 	ConsecutiveFailures int  `json:"consecutive_failures"`
@@ -53,6 +58,7 @@ type TransportStats struct {
 	BytesIn       int64                `json:"bytes_in"`
 	CorruptFrames int64                `json:"corrupt_frames"`
 	DroppedTasks  int64                `json:"dropped_tasks"`
+	Rejects       int64                `json:"rejects"`
 }
 
 // transport wraps every outbound frame in a retry/timeout/backoff policy
@@ -68,6 +74,7 @@ type transport struct {
 	bytesIn  atomic.Int64
 	corrupt  atomic.Int64
 	dropped  atomic.Int64
+	rejects  atomic.Int64
 
 	mu    sync.Mutex
 	peers map[string]*peerState
@@ -77,6 +84,7 @@ type peerState struct {
 	sends, retries, failures int64
 	framesOut, bytesOut      int64
 	framesIn, bytesIn        int64
+	rejects                  int64
 	consecFails              int
 	quarantinedUntil         time.Time
 	rng                      *rand.Rand
@@ -199,6 +207,14 @@ func (t *transport) noteIn(payloadBytes int) {
 func (t *transport) noteCorrupt() { t.corrupt.Add(1) }
 func (t *transport) noteDropped() { t.dropped.Add(1) }
 
+// noteReject charges one admission-pipeline rejection to its origin.
+func (t *transport) noteReject(origin string) {
+	t.rejects.Add(1)
+	t.mu.Lock()
+	t.peerLocked(origin).rejects++
+	t.mu.Unlock()
+}
+
 // snapshot builds a TransportStats copy.
 func (t *transport) snapshot() TransportStats {
 	out := TransportStats{
@@ -206,6 +222,7 @@ func (t *transport) snapshot() TransportStats {
 		BytesIn:       t.bytesIn.Load(),
 		CorruptFrames: t.corrupt.Load(),
 		DroppedTasks:  t.dropped.Load(),
+		Rejects:       t.rejects.Load(),
 	}
 	now := time.Now()
 	t.mu.Lock()
@@ -219,6 +236,7 @@ func (t *transport) snapshot() TransportStats {
 			BytesOut:            ps.bytesOut,
 			FramesIn:            ps.framesIn,
 			BytesIn:             ps.bytesIn,
+			Rejects:             ps.rejects,
 			ConsecutiveFailures: ps.consecFails,
 			Quarantined:         ps.consecFails >= t.cfg.QuarantineAfter && now.Before(ps.quarantinedUntil),
 		}

@@ -23,6 +23,46 @@ import (
 // ErrCorrupt is wrapped by all decode errors caused by malformed input.
 var ErrCorrupt = fmt.Errorf("wire: corrupt input")
 
+// Decoder allocation budgets. A length prefix is attacker-controlled and
+// costs the sender nothing, so no decoder may allocate proportionally to a
+// claimed length before the corresponding bytes have actually arrived:
+// slices grow incrementally (capped initial capacity) and dense weight
+// arrays are materialized only after their sparse entries were fully read.
+// The budgets below bound the decoded size a single call can reach even
+// when every prefix lies as hard as the caps allow.
+const (
+	// maxModelDim bounds one linear model's dense weight vector
+	// (128 MiB of float64 at the cap; honest models use HashDim 1<<16).
+	maxModelDim = 1 << 24
+	// maxModelSetWeights bounds the total dense weights across every
+	// model of one decoded set (64 MiB of float64 at the cap).
+	maxModelSetWeights = 1 << 23
+	// maxKernelEntries bounds the total support-vector entries of one
+	// decoded kernel model (64 MiB of entries at the cap).
+	maxKernelEntries = 1 << 22
+	// initialAlloc caps the capacity any decoder pre-allocates from a
+	// length prefix alone.
+	initialAlloc = 4096
+)
+
+// Checksum is the FNV-1a/64 digest of p. Gossip frames carry it over the
+// encoded model set so a corrupted or tampered payload is rejected before
+// the decoded set can touch any peer or model table. It is an integrity
+// check, not authentication: a peer can forge a digest for its own bytes,
+// but cannot have a frame mutate in flight undetected.
+func Checksum(p []byte) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, b := range p {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	return h
+}
+
 // WriteVector encodes v.
 func WriteVector(w io.Writer, v *vector.Sparse) error {
 	entries := v.Entries()
@@ -53,8 +93,11 @@ func ReadVector(r io.Reader, maxEntries int) (*vector.Sparse, error) {
 	if int(n) > maxEntries {
 		return nil, fmt.Errorf("%w: vector claims %d entries (max %d)", ErrCorrupt, n, maxEntries)
 	}
-	entries := make([]vector.Entry, n)
-	for i := range entries {
+	// Grow incrementally: the claimed length alone must not size the
+	// allocation, or a 4-byte prefix buys the sender maxEntries worth of
+	// memory on a stream that then ends.
+	entries := make([]vector.Entry, 0, min(int(n), initialAlloc))
+	for i := 0; i < int(n); i++ {
 		var idx uint32
 		var bits uint64
 		if err := binary.Read(r, binary.LittleEndian, &idx); err != nil {
@@ -63,7 +106,7 @@ func ReadVector(r io.Reader, maxEntries int) (*vector.Sparse, error) {
 		if err := binary.Read(r, binary.LittleEndian, &bits); err != nil {
 			return nil, fmt.Errorf("%w: entry %d value: %v", ErrCorrupt, i, err)
 		}
-		entries[i] = vector.Entry{Index: int32(idx), Value: math.Float64frombits(bits)}
+		entries = append(entries, vector.Entry{Index: int32(idx), Value: math.Float64frombits(bits)})
 	}
 	v, err := vector.FromEntries(entries)
 	if err != nil {
@@ -128,6 +171,15 @@ func WriteLinearModel(w io.Writer, m *svm.LinearModel) error {
 
 // ReadLinearModel decodes a model written by WriteLinearModel.
 func ReadLinearModel(r io.Reader) (*svm.LinearModel, error) {
+	return readLinearModelCapped(r, maxModelDim)
+}
+
+// readLinearModelCapped decodes one linear model with the dense dimension
+// capped at maxDim; ReadModelSet threads a shrinking budget through it so a
+// set of lying prefixes cannot multiply per-model allocations. The dense
+// weight array is materialized only after every sparse entry was actually
+// read — a claimed dim costs the sender nnz entries of real bytes first.
+func readLinearModelCapped(r io.Reader, maxDim int) (*svm.LinearModel, error) {
 	var bias uint64
 	if err := binary.Read(r, binary.LittleEndian, &bias); err != nil {
 		return nil, fmt.Errorf("%w: bias: %v", ErrCorrupt, err)
@@ -139,24 +191,33 @@ func ReadLinearModel(r io.Reader) (*svm.LinearModel, error) {
 	if err := binary.Read(r, binary.LittleEndian, &nnz); err != nil {
 		return nil, fmt.Errorf("%w: nnz: %v", ErrCorrupt, err)
 	}
-	const maxDim = 1 << 26
-	if dim > maxDim || nnz > dim {
-		return nil, fmt.Errorf("%w: dim=%d nnz=%d", ErrCorrupt, dim, nnz)
+	if maxDim > maxModelDim || maxDim < 0 {
+		maxDim = maxModelDim
+	}
+	if int64(dim) > int64(maxDim) || nnz > dim {
+		return nil, fmt.Errorf("%w: dim=%d nnz=%d (max dim %d)", ErrCorrupt, dim, nnz, maxDim)
+	}
+	type weight struct {
+		idx  uint32
+		bits uint64
+	}
+	weights := make([]weight, 0, min(int(nnz), initialAlloc))
+	for i := uint32(0); i < nnz; i++ {
+		var wt weight
+		if err := binary.Read(r, binary.LittleEndian, &wt.idx); err != nil {
+			return nil, fmt.Errorf("%w: weight %d: %v", ErrCorrupt, i, err)
+		}
+		if err := binary.Read(r, binary.LittleEndian, &wt.bits); err != nil {
+			return nil, fmt.Errorf("%w: weight %d: %v", ErrCorrupt, i, err)
+		}
+		if wt.idx >= dim {
+			return nil, fmt.Errorf("%w: weight index %d >= dim %d", ErrCorrupt, wt.idx, dim)
+		}
+		weights = append(weights, wt)
 	}
 	m := &svm.LinearModel{W: make([]float64, dim), Bias: math.Float64frombits(bias)}
-	for i := uint32(0); i < nnz; i++ {
-		var idx uint32
-		var bits uint64
-		if err := binary.Read(r, binary.LittleEndian, &idx); err != nil {
-			return nil, fmt.Errorf("%w: weight %d: %v", ErrCorrupt, i, err)
-		}
-		if err := binary.Read(r, binary.LittleEndian, &bits); err != nil {
-			return nil, fmt.Errorf("%w: weight %d: %v", ErrCorrupt, i, err)
-		}
-		if idx >= dim {
-			return nil, fmt.Errorf("%w: weight index %d >= dim %d", ErrCorrupt, idx, dim)
-		}
-		m.W[idx] = math.Float64frombits(bits)
+	for _, wt := range weights {
+		m.W[wt.idx] = math.Float64frombits(wt.bits)
 	}
 	return m, nil
 }
@@ -218,15 +279,22 @@ func ReadKernelModel(r io.Reader) (*svm.KernelModel, error) {
 	if n > maxSVs {
 		return nil, fmt.Errorf("%w: %d support vectors", ErrCorrupt, n)
 	}
+	// Shrinking entry budget across the whole model: many SVs each claiming
+	// the per-vector maximum must not multiply into gigabytes.
+	budget := maxKernelEntries
 	for i := uint32(0); i < n; i++ {
 		var bits uint64
 		if err := binary.Read(r, binary.LittleEndian, &bits); err != nil {
 			return nil, fmt.Errorf("%w: SV %d coeff: %v", ErrCorrupt, i, err)
 		}
-		x, err := ReadVector(r, 0)
+		if budget <= 0 {
+			return nil, fmt.Errorf("%w: kernel model exceeds %d total SV entries", ErrCorrupt, maxKernelEntries)
+		}
+		x, err := ReadVector(r, budget)
 		if err != nil {
 			return nil, err
 		}
+		budget -= x.Len()
 		m.SVs = append(m.SVs, svm.SupportVector{X: x, Coeff: math.Float64frombits(bits)})
 	}
 	m.Precompute() // rebuild the derived RBF norm cache (not serialized)
@@ -282,16 +350,25 @@ func ReadModelSet(r io.Reader) (map[string]CalibratedModel, error) {
 	if int(n) > maxModelSetTags {
 		return nil, fmt.Errorf("%w: model set claims %d tags", ErrCorrupt, n)
 	}
-	set := make(map[string]CalibratedModel, n)
+	set := make(map[string]CalibratedModel, min(int(n), initialAlloc))
+	// Shrinking weight budget across the whole set: every model's claimed
+	// dense dimension draws from it, so a set of lying prefixes is refused
+	// long before the per-tag cap times the per-model cap could multiply
+	// into gigabytes.
+	budget := maxModelSetWeights
 	for i := 0; i < int(n); i++ {
 		tag, err := readString(r)
 		if err != nil {
 			return nil, err
 		}
-		m, err := ReadLinearModel(r)
+		if budget <= 0 {
+			return nil, fmt.Errorf("%w: model set exceeds %d total weights", ErrCorrupt, maxModelSetWeights)
+		}
+		m, err := readLinearModelCapped(r, budget)
 		if err != nil {
 			return nil, err
 		}
+		budget -= len(m.W)
 		var bits [3]uint64
 		for j := range bits {
 			if err := binary.Read(r, binary.LittleEndian, &bits[j]); err != nil {

@@ -226,8 +226,18 @@ func FuzzReadKernelModel(f *testing.F) {
 	f.Add([]byte{})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		km, err := ReadKernelModel(bytes.NewReader(data))
-		if err == nil && km == nil {
+		if err != nil {
+			return
+		}
+		if km == nil {
 			t.Fatal("nil model without error")
+		}
+		total := 0
+		for _, sv := range km.SVs {
+			total += sv.X.Len()
+		}
+		if total > 1<<22 {
+			t.Fatalf("decoded kernel model holds %d SV entries past the budget", total)
 		}
 	})
 }
